@@ -1,0 +1,135 @@
+// Command pasnet-bench regenerates the paper's tables and figures from
+// this repository's substrates.
+//
+// Usage:
+//
+//	pasnet-bench -exhibit fig1            # operator latency breakdown
+//	pasnet-bench -exhibit fig5a -profile full
+//	pasnet-bench -exhibit fig5b
+//	pasnet-bench -exhibit fig6
+//	pasnet-bench -exhibit fig7
+//	pasnet-bench -exhibit table1 [-accuracy]
+//	pasnet-bench -exhibit ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pasnet/internal/experiments"
+	"pasnet/internal/hwmodel"
+)
+
+func main() {
+	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation")
+	profile := flag.String("profile", "quick", "experiment scale: quick|full")
+	accuracy := flag.Bool("accuracy", false, "table1: also train synthetic-accuracy column")
+	flag.Parse()
+
+	var p experiments.Profile
+	switch *profile {
+	case "quick":
+		p = experiments.QuickProfile()
+	case "full":
+		p = experiments.FullProfile()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	hw := hwmodel.DefaultConfig()
+
+	switch *exhibit {
+	case "fig1":
+		fmt.Println("Fig. 1(c): 2PC operator latency, ResNet-50 bottleneck (ImageNet, 1 GB/s, ZCU104)")
+		fmt.Printf("%-16s %12s %12s\n", "Operator", "Paper (ms)", "Model (ms)")
+		for _, r := range experiments.Fig1Breakdown(hw) {
+			fmt.Printf("%-16s %12.2f %12.2f\n", r.Name, r.PaperMS, r.ModelMS)
+		}
+	case "fig5a", "fig5b":
+		rows, err := experiments.Fig5(p, hw, os.Stderr)
+		exitOn(err)
+		if *exhibit == "fig5a" {
+			fmt.Println("Fig. 5(a): searched model accuracy (synthetic CIFAR stand-in)")
+			fmt.Printf("%-14s %-12s %10s %10s\n", "Backbone", "Setting", "Top-1", "PolyFrac")
+			for _, r := range rows {
+				fmt.Printf("%-14s %-12s %10.3f %10.2f\n", r.Backbone, r.Setting, r.Accuracy, r.PolyFraction)
+			}
+		} else {
+			fmt.Println("Fig. 5(b): searched model private-inference latency (modelled)")
+			fmt.Printf("%-14s %-12s %12s\n", "Backbone", "Setting", "Latency (ms)")
+			for _, r := range rows {
+				fmt.Printf("%-14s %-12s %12.2f\n", r.Backbone, r.Setting, r.LatencyMS)
+			}
+			fmt.Println("\nAll-poly speedups (paper: 15-26x):")
+			sp := experiments.SpeedupSummary(rows)
+			keys := make([]string, 0, len(sp))
+			for k := range sp {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  %-14s %.1fx\n", k, sp[k])
+			}
+		}
+	case "fig6":
+		rows, err := experiments.Fig5(p, hw, os.Stderr)
+		exitOn(err)
+		fmt.Println("Fig. 6: accuracy-ReLU count Pareto frontier")
+		fmt.Printf("%-14s %12s %10s %-12s\n", "Backbone", "ReLU count", "Top-1", "Setting")
+		for _, pt := range experiments.Fig6Pareto(rows) {
+			fmt.Printf("%-14s %12d %10.3f %-12s\n", pt.Backbone, pt.ReLUCount, pt.Accuracy, pt.Setting)
+		}
+	case "fig7":
+		if *profile == "quick" {
+			// Fig. 7's accuracy mechanism needs the dedicated profile.
+			p = experiments.Fig7Profile()
+		}
+		series, err := experiments.Fig7CrossWork(p, os.Stderr)
+		exitOn(err)
+		fmt.Println("Fig. 7: ReLU-reduction cross-work comparison")
+		methods := make([]string, 0, len(series))
+		for m := range series {
+			methods = append(methods, m)
+		}
+		sort.Strings(methods)
+		for _, m := range methods {
+			fmt.Printf("%s:\n", m)
+			for _, pt := range series[m] {
+				fmt.Printf("  relu=%-10d acc=%.3f  (%s)\n", pt.ReLUCount, pt.Accuracy, pt.Detail)
+			}
+		}
+		fmt.Println("\nAccuracy at fewest ReLUs (paper: PASNet holds accuracy where linearization collapses):")
+		for m, acc := range experiments.LowReLUAdvantage(series) {
+			fmt.Printf("  %-12s %.3f\n", m, acc)
+		}
+	case "table1":
+		rows, err := experiments.Table1(p, hw, *accuracy, os.Stderr)
+		exitOn(err)
+		fmt.Println("Table I: PASNet variants vs cross-work (modelled at paper scale)")
+		fmt.Print(experiments.FormatTable1(rows))
+		fmt.Println("\nSpeedup vs CryptGPU (latency x, comm x):")
+		for v, s := range experiments.SpeedupVsCryptGPU(rows) {
+			fmt.Printf("  %-12s %6.1fx %6.1fx\n", v, s[0], s[1])
+		}
+	case "ablation":
+		rows, err := experiments.DARTSOrderAblation(p, hw)
+		exitOn(err)
+		fmt.Println("Ablation: first- vs second-order architecture updates")
+		fmt.Printf("%-14s %10s %12s %10s\n", "Mode", "Top-1", "Latency(ms)", "PolyFrac")
+		for _, r := range rows {
+			fmt.Printf("%-14s %10.3f %12.2f %10.2f\n", r.Mode, r.Accuracy, r.LatencyMS, r.PolyFrac)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown exhibit %q\n", *exhibit)
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pasnet-bench:", err)
+		os.Exit(1)
+	}
+}

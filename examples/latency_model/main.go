@@ -1,0 +1,50 @@
+// latency_model reproduces the paper's Fig. 1 analysis: it prices every
+// operator of a ResNet-50 bottleneck under the 2PC FPGA model, shows that
+// ReLU dominates (>99% of latency), and quantifies the X²act replacement
+// win that motivates PASNet.
+package main
+
+import (
+	"fmt"
+
+	"pasnet/internal/experiments"
+	"pasnet/internal/hwmodel"
+	"pasnet/internal/models"
+)
+
+func main() {
+	hw := hwmodel.DefaultConfig()
+
+	fmt.Println("== Fig. 1(c): ResNet-50 bottleneck under 2PC (ImageNet shapes) ==")
+	var total, relu float64
+	for _, r := range experiments.Fig1Breakdown(hw) {
+		fmt.Printf("  %-16s paper %8.1f ms   model %8.1f ms\n", r.Name, r.PaperMS, r.ModelMS)
+		total += r.ModelMS
+		if len(r.Name) >= 4 && r.Name[:4] == "ReLU" {
+			relu += r.ModelMS
+		}
+	}
+	fmt.Printf("  ReLU share of block latency: %.1f%%\n\n", 100*relu/total)
+
+	s := hwmodel.OpShape{FI: 56, IC: 64}
+	fmt.Printf("== X2act replacement win at 56x56x64 ==\n")
+	fmt.Printf("  2PC-ReLU:  %7.2f ms\n", hw.ReLU(s).TotalSec*1e3)
+	fmt.Printf("  2PC-X2act: %7.2f ms  (%.0fx faster)\n\n",
+		hw.X2Act(s).TotalSec*1e3, hw.ReLU(s).TotalSec/hw.X2Act(s).TotalSec)
+
+	fmt.Println("== Whole-network latency LUT (ResNet-18, CIFAR shapes) ==")
+	cfg := models.CIFARConfig(1, 1)
+	cfg.OpsOnly = true
+	m, err := models.ByName("resnet18", cfg)
+	if err != nil {
+		panic(err)
+	}
+	lut := hwmodel.NewLUT(hw).Build(m.Ops)
+	for _, key := range lut.Keys() {
+		c := lut.Entries[key]
+		fmt.Printf("  %-44s %10.3f ms\n", key, c.TotalSec*1e3)
+	}
+	sched := hwmodel.BuildSchedule(hw, m.Ops)
+	fmt.Printf("\n  all-ReLU network: latency %.1f ms, comm %.1f MB, bottleneck %q\n",
+		sched.LatencySec*1e3, float64(sched.TotalCommBits)/8/1e6, sched.BottleneckOp)
+}

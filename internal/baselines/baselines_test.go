@@ -1,0 +1,176 @@
+package baselines
+
+import (
+	"testing"
+
+	"pasnet/internal/dataset"
+	"pasnet/internal/models"
+	"pasnet/internal/nas"
+)
+
+// quickConfig builds a minimal shared setup for baseline tests.
+func quickConfig(t *testing.T) Config {
+	t.Helper()
+	d := dataset.Synthetic(dataset.SynthConfig{
+		N: 600, Classes: 6, C: 3, HW: 16, LatentDim: 8, TeacherHidden: 16, TeacherDepth: 2, Noise: 0.1, Seed: 41,
+	})
+	train, val := d.Split(0.5, 42)
+	cfg := models.CIFARConfig(0.125, 43)
+	cfg.InputHW = 16
+	cfg.NumClasses = 6
+	topts := nas.DefaultTrainOptions()
+	topts.Steps = 25
+	topts.BatchSize = 16
+	return Config{
+		Backbone:  "resnet18",
+		ModelCfg:  cfg,
+		Train:     train,
+		Val:       val,
+		TrainOpts: topts,
+	}
+}
+
+func TestDelphiCurveMonotoneReLUs(t *testing.T) {
+	c := quickConfig(t)
+	pts, err := Delphi(c, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points %d", len(pts))
+	}
+	if !(pts[0].ReLUCount > pts[1].ReLUCount && pts[1].ReLUCount > pts[2].ReLUCount) {
+		t.Fatalf("ReLU counts not decreasing: %v %v %v",
+			pts[0].ReLUCount, pts[1].ReLUCount, pts[2].ReLUCount)
+	}
+	if pts[2].ReLUCount != 0 {
+		t.Fatalf("full replacement leaves %d ReLUs", pts[2].ReLUCount)
+	}
+	for _, p := range pts {
+		if p.Accuracy < 0 || p.Accuracy > 1 || p.Method != "DELPHI" {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+}
+
+func TestSNLCurve(t *testing.T) {
+	c := quickConfig(t)
+	pts, err := SNL(c, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].ReLUCount != 0 {
+		t.Fatalf("full linearization leaves %d ReLUs", pts[1].ReLUCount)
+	}
+	if pts[0].ReLUCount == 0 {
+		t.Fatal("zero-fraction point must keep all ReLUs")
+	}
+}
+
+// TestIdentityCollapsesAccuracy is the core Fig. 7 mechanism: fully
+// linearized networks (SNL/DeepReDuce at 100%) must lose clearly more
+// accuracy than fully polynomial ones on the nonlinear task.
+func TestIdentityCollapsesAccuracy(t *testing.T) {
+	c := quickConfig(t)
+	c.TrainOpts.Steps = 300
+	snl, err := SNL(c, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, err := PASNetAllPoly(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly.Accuracy < snl[0].Accuracy-0.05 {
+		t.Fatalf("poly (%.2f) should beat or match identity (%.2f) at zero ReLUs",
+			poly.Accuracy, snl[0].Accuracy)
+	}
+}
+
+// PASNetAllPoly trains the all-X²act variant directly (the λ→∞ endpoint)
+// without running a search, for fast comparisons.
+func PASNetAllPoly(c Config) (Point, error) {
+	cfg := c.ModelCfg
+	cfg.Act = models.ActX2
+	cfg.Pool = models.PoolAvg
+	m, err := models.ByName(c.Backbone, cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	res, err := nas.TrainModel(m, c.Train, c.Val, c.TrainOpts)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{Method: "PASNet", ReLUCount: m.ReLUCount(), Accuracy: res.ValAccuracy}, nil
+}
+
+func TestDeepReduceStages(t *testing.T) {
+	c := quickConfig(t)
+	pts, err := DeepReduce(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("expected 4 points (0..3 cuts), got %d", len(pts))
+	}
+	if pts[len(pts)-1].ReLUCount != 0 {
+		t.Fatal("all stages cut must reach zero ReLUs")
+	}
+	if _, err := DeepReduce(c, 0); err == nil {
+		t.Fatal("zero stages must error")
+	}
+}
+
+func TestCryptoNASWidthSweep(t *testing.T) {
+	c := quickConfig(t)
+	pts, err := CryptoNAS(c, []float64{0.125, 0.0625})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].ReLUCount <= pts[1].ReLUCount {
+		t.Fatalf("narrower model must have fewer ReLUs: %d vs %d",
+			pts[0].ReLUCount, pts[1].ReLUCount)
+	}
+}
+
+func TestPASNetSearchPoints(t *testing.T) {
+	c := quickConfig(t)
+	sOpts := nas.DefaultOptions(c.Backbone, 0)
+	sOpts.Steps = 8
+	sOpts.BatchSize = 8
+	sOpts.ModelCfg = c.ModelCfg
+	pts, err := PASNet(c, []float64{1e4}, sOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].ReLUCount != 0 {
+		t.Fatalf("high-lambda PASNet point %+v", pts)
+	}
+}
+
+func TestPareto(t *testing.T) {
+	pts := []Point{
+		{ReLUCount: 100, Accuracy: 0.9},
+		{ReLUCount: 50, Accuracy: 0.95}, // dominates the first
+		{ReLUCount: 10, Accuracy: 0.8},
+		{ReLUCount: 5, Accuracy: 0.7},
+		{ReLUCount: 7, Accuracy: 0.6}, // dominated by the 5-ReLU point
+	}
+	front := Pareto(pts)
+	if len(front) != 3 {
+		t.Fatalf("frontier size %d: %+v", len(front), front)
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].ReLUCount < front[i-1].ReLUCount {
+			t.Fatal("frontier must be sorted by ReLU count")
+		}
+	}
+}
+
+func TestUnknownBackboneErrors(t *testing.T) {
+	c := quickConfig(t)
+	c.Backbone = "nope"
+	if _, err := Delphi(c, []float64{0}); err == nil {
+		t.Fatal("unknown backbone must error")
+	}
+}

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a := Synthetic(CIFARLike(64, 5))
+	b := Synthetic(CIFARLike(64, 5))
+	for i := range a.Images.Data {
+		if a.Images.Data[i] != b.Images.Data[i] {
+			t.Fatal("same seed must give identical images")
+		}
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed must give identical labels")
+		}
+	}
+	c := Synthetic(CIFARLike(64, 6))
+	same := 0
+	for i := range a.Labels {
+		if a.Labels[i] == c.Labels[i] {
+			same++
+		}
+	}
+	if same == len(a.Labels) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSyntheticShapesAndLabels(t *testing.T) {
+	d := Synthetic(CIFARLike(100, 1))
+	if d.Len() != 100 || d.Images.Shape[1] != 3 || d.Images.Shape[2] != 32 {
+		t.Fatalf("bad shapes: len %d, %v", d.Len(), d.Images.Shape)
+	}
+	for _, l := range d.Labels {
+		if l < 0 || l >= d.Classes {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestSyntheticClassDiversity(t *testing.T) {
+	d := Synthetic(CIFARLike(500, 2))
+	counts := make([]int, d.Classes)
+	for _, l := range d.Labels {
+		counts[l]++
+	}
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < d.Classes/2 {
+		t.Fatalf("only %d/%d classes populated", nonEmpty, d.Classes)
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	d := Synthetic(CIFARLike(100, 3))
+	a, b := d.Split(0.5, 7)
+	if a.Len() != 50 || b.Len() != 50 {
+		t.Fatalf("split sizes %d/%d", a.Len(), b.Len())
+	}
+	// No image should appear in both halves (probability of random
+	// collision in continuous data is zero, so compare first pixels).
+	seen := map[float64]bool{}
+	for i := 0; i < a.Len(); i++ {
+		seen[a.Images.Data[i*3*32*32]] = true
+	}
+	for i := 0; i < b.Len(); i++ {
+		if seen[b.Images.Data[i*3*32*32]] {
+			t.Fatal("split halves overlap")
+		}
+	}
+}
+
+func TestSubsetAndBatch(t *testing.T) {
+	d := Synthetic(CIFARLike(20, 4))
+	x, y := d.Batch([]int{3, 5, 7})
+	if x.Shape[0] != 3 || len(y) != 3 {
+		t.Fatalf("batch shape %v labels %d", x.Shape, len(y))
+	}
+	if y[0] != d.Labels[3] || y[2] != d.Labels[7] {
+		t.Fatal("batch labels misaligned")
+	}
+	pix := 3 * 32 * 32
+	for p := 0; p < pix; p++ {
+		if x.Data[p] != d.Images.Data[3*pix+p] {
+			t.Fatal("batch images misaligned")
+		}
+	}
+}
+
+func TestBatchAt(t *testing.T) {
+	d := Synthetic(CIFARLike(10, 8))
+	perm := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	x, y := d.BatchAt(perm, 2, 4) // items 8,9
+	if x.Shape[0] != 2 || len(y) != 2 {
+		t.Fatalf("tail batch %v/%d", x.Shape, len(y))
+	}
+	if x2, y2 := d.BatchAt(perm, 5, 4); x2 != nil || y2 != nil {
+		t.Fatal("out-of-range batch must be nil")
+	}
+}
+
+func TestIteratorCycles(t *testing.T) {
+	d := Synthetic(CIFARLike(10, 9))
+	it := NewIterator(d, 4, 1)
+	seenBatches := 0
+	for i := 0; i < 10; i++ {
+		x, y := it.Next()
+		if x.Shape[0] != 4 || len(y) != 4 {
+			t.Fatalf("iterator batch %v", x.Shape)
+		}
+		seenBatches++
+	}
+	if seenBatches != 10 {
+		t.Fatal("iterator must be infinite")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Synthetic(SynthConfig{N: 0, Classes: 10, C: 3, HW: 8})
+}

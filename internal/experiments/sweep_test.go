@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+func TestNetworkSweepShape(t *testing.T) {
+	pts, err := NetworkSweep("resnet18", []float64{0.125, 1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points %d", len(pts))
+	}
+	// Slower networks make everything slower...
+	if !(pts[0].AllReLUMS > pts[1].AllReLUMS && pts[1].AllReLUMS > pts[2].AllReLUMS) {
+		t.Fatalf("ReLU latency must fall with bandwidth: %+v", pts)
+	}
+	// ...and the poly advantage must persist at every operating point.
+	for _, p := range pts {
+		if p.Speedup < 3 {
+			t.Fatalf("poly speedup %.2f at %.3f GB/s", p.Speedup, p.BandwidthGBps)
+		}
+	}
+	if _, err := NetworkSweep("nope", []float64{1}); err == nil {
+		t.Fatal("unknown backbone must error")
+	}
+}
+
+func TestSTPAIAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	p := QuickProfile()
+	p.Backbones = []string{"resnet18"}
+	p.TrainSteps = 80
+	rows, err := STPAIAblation(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	var stpai, naive STPAIRow
+	for _, r := range rows {
+		if r.Init == "stpai" {
+			stpai = r
+		} else {
+			naive = r
+		}
+	}
+	// STPAI must train at least as well as the naive quadratic start.
+	if stpai.Accuracy+0.05 < naive.Accuracy {
+		t.Fatalf("STPAI (%.3f) should not lose to naive init (%.3f)",
+			stpai.Accuracy, naive.Accuracy)
+	}
+}

@@ -1,0 +1,250 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// within reports |got-want| <= frac*want.
+func within(got, want, frac float64) bool {
+	return math.Abs(got-want) <= frac*math.Abs(want)
+}
+
+// TestFig1Calibration checks that the default configuration reproduces the
+// paper's Fig. 1(c) per-operator breakdown of the first ResNet-50
+// bottleneck (ImageNet, 56×56 maps) to within 25%.
+func TestFig1Calibration(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		name   string
+		kind   OpKind
+		shape  OpShape
+		wantMS float64
+	}{
+		{"Conv1 1x1 64->64", OpConv, OpShape{FI: 56, IC: 64, OC: 64, K: 1, Stride: 1, FO: 56}, 1.9},
+		{"ReLU1 64ch", OpReLU, OpShape{FI: 56, IC: 64}, 193.3},
+		{"Conv2 3x3 64->64", OpConv, OpShape{FI: 56, IC: 64, OC: 64, K: 3, Stride: 1, FO: 56}, 3.2},
+		{"ReLU2 64ch", OpReLU, OpShape{FI: 56, IC: 64}, 193.3},
+		{"Conv3 1x1 64->256", OpConv, OpShape{FI: 56, IC: 64, OC: 256, K: 1, Stride: 1, FO: 56}, 2.4},
+		{"Conv4 1x1 64->256", OpConv, OpShape{FI: 56, IC: 64, OC: 256, K: 1, Stride: 1, FO: 56}, 2.4},
+		{"ReLU3 256ch", OpReLU, OpShape{FI: 56, IC: 256}, 772.2},
+	}
+	for _, c := range cases {
+		gotMS := cfg.Op(c.kind, c.shape).TotalSec * 1e3
+		if !within(gotMS, c.wantMS, 0.25) {
+			t.Errorf("%s: model %.2f ms, paper %.2f ms (>25%% off)", c.name, gotMS, c.wantMS)
+		}
+	}
+}
+
+// TestReLUDominates asserts Fig. 1's headline: ReLU is >95% of the
+// bottleneck's latency under 2PC.
+func TestReLUDominates(t *testing.T) {
+	cfg := DefaultConfig()
+	relu := cfg.ReLU(OpShape{FI: 56, IC: 64}).TotalSec*2 + cfg.ReLU(OpShape{FI: 56, IC: 256}).TotalSec
+	conv := cfg.Conv(OpShape{FI: 56, IC: 64, OC: 64, K: 1, Stride: 1, FO: 56}).TotalSec +
+		cfg.Conv(OpShape{FI: 56, IC: 64, OC: 64, K: 3, Stride: 1, FO: 56}).TotalSec +
+		2*cfg.Conv(OpShape{FI: 56, IC: 64, OC: 256, K: 1, Stride: 1, FO: 56}).TotalSec
+	frac := relu / (relu + conv)
+	if frac < 0.95 {
+		t.Fatalf("ReLU fraction %.3f, want > 0.95", frac)
+	}
+}
+
+// TestX2ActSpeedup checks the paper's intro claim that polynomial
+// activation replacement yields on the order of 50× per-op speedup.
+func TestX2ActSpeedup(t *testing.T) {
+	cfg := DefaultConfig()
+	s := OpShape{FI: 56, IC: 64}
+	speedup := cfg.ReLU(s).TotalSec / cfg.X2Act(s).TotalSec
+	if speedup < 30 || speedup > 300 {
+		t.Fatalf("X2act speedup %.1f×, want within [30,300]", speedup)
+	}
+}
+
+func TestReLUScalesLinearly(t *testing.T) {
+	cfg := DefaultConfig()
+	small := cfg.ReLU(OpShape{FI: 56, IC: 64})
+	big := cfg.ReLU(OpShape{FI: 56, IC: 256})
+	// 4x elements: compute and dominant comm scale 4x (base latencies are
+	// negligible at this size).
+	if !within(big.TotalSec, 4*small.TotalSec, 0.02) {
+		t.Fatalf("ReLU not ~linear: %v vs 4×%v", big.TotalSec, small.TotalSec)
+	}
+}
+
+func TestMaxPoolAddsThreeRounds(t *testing.T) {
+	cfg := DefaultConfig()
+	s := OpShape{FI: 32, IC: 16, K: 2, Stride: 2}
+	relu := cfg.ReLU(s)
+	mp := cfg.MaxPool(s)
+	if got := mp.TotalSec - relu.TotalSec; !within(got, 3*cfg.TbcSec, 1e-9) {
+		t.Fatalf("MaxPool extra %.9f, want 3·Tbc=%.9f", got, 3*cfg.TbcSec)
+	}
+	if mp.Rounds != relu.Rounds+3 {
+		t.Fatalf("MaxPool rounds %d, want %d", mp.Rounds, relu.Rounds+3)
+	}
+}
+
+func TestAvgPoolIsLocal(t *testing.T) {
+	cfg := DefaultConfig()
+	c := cfg.AvgPool(OpShape{FI: 32, IC: 64, K: 2, Stride: 2})
+	if c.CommSec != 0 || c.CommBits != 0 || c.Rounds != 0 {
+		t.Fatalf("AvgPool must be communication-free: %+v", c)
+	}
+	if c.CompSec <= 0 {
+		t.Fatal("AvgPool compute must be positive")
+	}
+}
+
+func TestAddIsLocal(t *testing.T) {
+	cfg := DefaultConfig()
+	c := cfg.Add(OpShape{FI: 32, IC: 64})
+	if c.CommBits != 0 || c.CompSec <= 0 {
+		t.Fatalf("Add cost wrong: %+v", c)
+	}
+}
+
+func TestConvCommMatchesEq16(t *testing.T) {
+	cfg := DefaultConfig()
+	s := OpShape{FI: 28, IC: 32, OC: 64, K: 3, Stride: 1, FO: 28}
+	c := cfg.Conv(s)
+	wantBits := int64(2 * 32 * 28 * 28 * 32)
+	if c.CommBits != wantBits {
+		t.Fatalf("conv comm bits %d, want %d", c.CommBits, wantBits)
+	}
+	wantComm := 2 * (cfg.TbcSec + float64(wantBits/2)/cfg.BandwidthBps)
+	if !within(c.CommSec, wantComm, 1e-12) {
+		t.Fatalf("conv comm %.9f want %.9f", c.CommSec, wantComm)
+	}
+}
+
+func TestFCCost(t *testing.T) {
+	cfg := DefaultConfig()
+	c := cfg.FC(OpShape{IC: 512, OC: 1000})
+	wantComp := 3 * 512 * 1000 / (cfg.PPConv * cfg.FreqHz)
+	if !within(c.CompSec, wantComp, 1e-12) {
+		t.Fatalf("fc comp %.12f want %.12f", c.CompSec, wantComp)
+	}
+}
+
+func TestOpDispatchAllKinds(t *testing.T) {
+	cfg := DefaultConfig()
+	s := OpShape{FI: 8, IC: 4, OC: 4, K: 3, Stride: 1, FO: 8}
+	for _, k := range []OpKind{OpConv, OpReLU, OpX2Act, OpMaxPool, OpAvgPool, OpFC, OpAdd} {
+		c := cfg.Op(k, s)
+		if c.TotalSec <= 0 {
+			t.Errorf("%v: non-positive latency", k)
+		}
+		if c.TotalSec != c.CompSec+c.CommSec {
+			t.Errorf("%v: total != comp+comm", k)
+		}
+		if k.String() == "" {
+			t.Errorf("%v: empty name", k)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.FreqHz = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero frequency must be invalid")
+	}
+	bad = DefaultConfig()
+	bad.BandwidthBps = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative bandwidth must be invalid")
+	}
+	bad = DefaultConfig()
+	bad.PPCmp = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero parallelism must be invalid")
+	}
+}
+
+func TestEfficiencyMetric(t *testing.T) {
+	cfg := DefaultConfig()
+	// PASNet-A row: 63 ms latency at 16 W → ~999 1/(s·kW).
+	eff := cfg.Efficiency(0.063, 1)
+	if !within(eff, 992, 0.02) {
+		t.Fatalf("efficiency %.1f, want ~992", eff)
+	}
+	if cfg.Efficiency(0, 1) != 0 {
+		t.Fatal("zero latency must yield zero efficiency")
+	}
+}
+
+func TestLUTMemoizes(t *testing.T) {
+	lut := NewLUT(DefaultConfig())
+	op := NetOp{Name: "r1", Kind: OpReLU, Shape: OpShape{FI: 32, IC: 64}}
+	c1 := lut.Cost(op)
+	if len(lut.Entries) != 1 {
+		t.Fatal("entry not stored")
+	}
+	c2 := lut.Cost(NetOp{Name: "other-name-same-shape", Kind: OpReLU, Shape: OpShape{FI: 32, IC: 64}})
+	if c1 != c2 {
+		t.Fatal("same-shape ops must share a LUT entry")
+	}
+	lut.Build([]NetOp{
+		{Name: "c", Kind: OpConv, Shape: OpShape{FI: 32, IC: 3, OC: 16, K: 3, Stride: 1, FO: 32}},
+	})
+	if len(lut.Entries) != 2 {
+		t.Fatalf("expected 2 entries, got %d", len(lut.Entries))
+	}
+	if len(lut.Keys()) != 2 {
+		t.Fatal("Keys length mismatch")
+	}
+}
+
+func TestNetworkCostAndSchedule(t *testing.T) {
+	cfg := DefaultConfig()
+	ops := []NetOp{
+		{Name: "conv1", Kind: OpConv, Shape: OpShape{FI: 32, IC: 3, OC: 16, K: 3, Stride: 1, FO: 32}},
+		{Name: "relu1", Kind: OpReLU, Shape: OpShape{FI: 32, IC: 16}},
+		{Name: "pool1", Kind: OpAvgPool, Shape: OpShape{FI: 32, IC: 16, K: 2, Stride: 2}},
+	}
+	total := NetworkCost(cfg, ops)
+	parts := Breakdown(cfg, ops)
+	var sum float64
+	var bits int64
+	for _, p := range parts {
+		sum += p.TotalSec
+		bits += p.CommBits
+	}
+	if !within(total.TotalSec, sum, 1e-12) || total.CommBits != bits {
+		t.Fatal("NetworkCost must equal sum of Breakdown")
+	}
+	sched := BuildSchedule(cfg, ops)
+	if sched.BottleneckOp != "relu1" {
+		t.Fatalf("bottleneck %q, want relu1", sched.BottleneckOp)
+	}
+	if !within(sched.LatencySec, total.TotalSec, 1e-12) {
+		t.Fatal("schedule latency mismatch")
+	}
+	if sched.ThroughputPerSec <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+	if sched.TotalCommBits != bits {
+		t.Fatal("schedule comm mismatch")
+	}
+}
+
+// TestBandwidthSensitivity: halving bandwidth must increase comm time but
+// leave compute untouched.
+func TestBandwidthSensitivity(t *testing.T) {
+	fast := DefaultConfig()
+	slow := DefaultConfig()
+	slow.BandwidthBps /= 2
+	s := OpShape{FI: 56, IC: 64}
+	cf, cs := fast.ReLU(s), slow.ReLU(s)
+	if cs.CommSec <= cf.CommSec {
+		t.Fatal("slower network must cost more comm time")
+	}
+	if cs.CompSec != cf.CompSec {
+		t.Fatal("bandwidth must not affect compute")
+	}
+}

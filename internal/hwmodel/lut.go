@@ -1,0 +1,122 @@
+package hwmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NetOp is one operator instance inside a network, as consumed by the
+// latency model and the NAS latency regularizer.
+type NetOp struct {
+	// Name is a human-readable label ("conv1", "relu3", ...).
+	Name string
+	// Kind is the operator type.
+	Kind OpKind
+	// Shape is the operator geometry.
+	Shape OpShape
+}
+
+// Key returns the LUT key for the op: kind plus geometry (name excluded so
+// identical layers share one entry, as in the paper's "latency loop-up
+// table").
+func (o NetOp) Key() string {
+	return fmt.Sprintf("%s/FI%d-IC%d-OC%d-K%d-S%d-FO%d-G%d",
+		o.Kind, o.Shape.FI, o.Shape.IC, o.Shape.OC, o.Shape.K, o.Shape.Stride, o.Shape.FO, o.Shape.Groups)
+}
+
+// LUT is the latency lookup table Lat(OP): memoized operator costs for a
+// fixed hardware configuration.
+type LUT struct {
+	// Config is the hardware model the entries were built with.
+	Config Config
+	// Entries maps NetOp.Key() to cost.
+	Entries map[string]Cost
+}
+
+// NewLUT returns an empty table for the configuration.
+func NewLUT(cfg Config) *LUT {
+	return &LUT{Config: cfg, Entries: make(map[string]Cost)}
+}
+
+// Cost returns the operator cost, computing and memoizing it on first use.
+func (l *LUT) Cost(op NetOp) Cost {
+	key := op.Key()
+	if c, ok := l.Entries[key]; ok {
+		return c
+	}
+	c := l.Config.Op(op.Kind, op.Shape)
+	l.Entries[key] = c
+	return c
+}
+
+// Build precomputes entries for all the given ops and returns l.
+func (l *LUT) Build(ops []NetOp) *LUT {
+	for _, op := range ops {
+		l.Cost(op)
+	}
+	return l
+}
+
+// Keys returns the table's keys in sorted order (for stable printing).
+func (l *LUT) Keys() []string {
+	keys := make([]string, 0, len(l.Entries))
+	for k := range l.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// NetworkCost sums the costs of a network's operators: the batch-1 private
+// inference latency of the coarse-grained (sequential layer) schedule.
+func NetworkCost(cfg Config, ops []NetOp) Cost {
+	var total Cost
+	for _, op := range ops {
+		total = total.add(cfg.Op(op.Kind, op.Shape))
+	}
+	return total
+}
+
+// Breakdown returns per-op costs in network order.
+func Breakdown(cfg Config, ops []NetOp) []Cost {
+	out := make([]Cost, len(ops))
+	for i, op := range ops {
+		out[i] = cfg.Op(op.Kind, op.Shape)
+	}
+	return out
+}
+
+// Schedule models the coarse-grained pipeline the paper's accelerator
+// uses: for batch size 1 the latency is the sequential sum; for a stream
+// of inputs the steady-state throughput is limited by the slowest stage.
+type Schedule struct {
+	// LatencySec is the single-input end-to-end latency.
+	LatencySec float64
+	// BottleneckSec is the slowest stage's latency.
+	BottleneckSec float64
+	// BottleneckOp names the limiting operator.
+	BottleneckOp string
+	// ThroughputPerSec is 1/BottleneckSec (images per second, steady
+	// state with full inter-stage double buffering).
+	ThroughputPerSec float64
+	// TotalCommBits is the modelled traffic per inference.
+	TotalCommBits int64
+}
+
+// BuildSchedule computes the pipeline schedule for a network.
+func BuildSchedule(cfg Config, ops []NetOp) Schedule {
+	var s Schedule
+	for _, op := range ops {
+		c := cfg.Op(op.Kind, op.Shape)
+		s.LatencySec += c.TotalSec
+		s.TotalCommBits += c.CommBits
+		if c.TotalSec > s.BottleneckSec {
+			s.BottleneckSec = c.TotalSec
+			s.BottleneckOp = op.Name
+		}
+	}
+	if s.BottleneckSec > 0 {
+		s.ThroughputPerSec = 1 / s.BottleneckSec
+	}
+	return s
+}

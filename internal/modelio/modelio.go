@@ -1,0 +1,249 @@
+// Package modelio serializes trained PASNet models so the two-process
+// deployment (cmd/pasnet-server) and downstream users can exchange
+// checkpoints: searched architecture choices plus the trained parameters
+// and batch-norm running statistics, in a versioned gob envelope.
+package modelio
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"pasnet/internal/models"
+	"pasnet/internal/nas"
+	"pasnet/internal/nn"
+)
+
+// FormatVersion guards against decoding incompatible checkpoints.
+const FormatVersion = 1
+
+// Checkpoint is the serialized form of a searched+trained model.
+type Checkpoint struct {
+	// Version is FormatVersion at encode time.
+	Version int
+	// Backbone names the models.ByName architecture.
+	Backbone string
+	// Config reproduces the builder configuration (function fields are
+	// carried as explicit choice maps instead).
+	NumClasses, InputHW, InputC int
+	WidthMult                   float64
+	LatHW                       int
+	ImageNetStem                bool
+	Seed                        uint64
+	// ActChoices/PoolChoices pin every slot's operator.
+	ActChoices  map[int]models.ActChoice
+	PoolChoices map[int]models.PoolChoice
+	// Params maps parameter name to its flattened values, in model order.
+	Params []NamedTensor
+	// BNStats carries running statistics per batch-norm layer, keyed by
+	// the layer's gamma parameter name.
+	BNStats []BNStat
+}
+
+// NamedTensor is one parameter's data.
+type NamedTensor struct {
+	Name  string
+	Shape []int
+	Data  []float64
+}
+
+// BNStat is one batch-norm layer's running statistics.
+type BNStat struct {
+	GammaName       string
+	RunMean, RunVar []float64
+}
+
+// Save captures a trained model and its architecture choices.
+func Save(m *models.Model, backbone string, cfg models.Config, ch nas.Choices) (*Checkpoint, error) {
+	if m.Net == nil {
+		return nil, fmt.Errorf("modelio: model has no trainable network")
+	}
+	ck := &Checkpoint{
+		Version:      FormatVersion,
+		Backbone:     backbone,
+		NumClasses:   cfg.NumClasses,
+		InputHW:      cfg.InputHW,
+		InputC:       cfg.InputC,
+		WidthMult:    cfg.WidthMult,
+		LatHW:        cfg.LatHW,
+		ImageNetStem: cfg.ImageNetStem,
+		Seed:         cfg.Seed,
+		ActChoices:   map[int]models.ActChoice{},
+		PoolChoices:  map[int]models.PoolChoice{},
+	}
+	for id, c := range ch.Act {
+		ck.ActChoices[id] = c
+	}
+	for id, c := range ch.Pool {
+		ck.PoolChoices[id] = c
+	}
+	for _, p := range m.Net.Params() {
+		ck.Params = append(ck.Params, NamedTensor{
+			Name:  p.Name,
+			Shape: append([]int(nil), p.W.Shape...),
+			Data:  append([]float64(nil), p.W.Data...),
+		})
+	}
+	collectBN(m.Net.Root, &ck.BNStats)
+	return ck, nil
+}
+
+// collectBN walks the layer tree gathering batch-norm statistics.
+func collectBN(l nn.Layer, out *[]BNStat) {
+	switch v := l.(type) {
+	case *nn.BatchNorm2D:
+		*out = append(*out, BNStat{
+			GammaName: v.Gamma.Name,
+			RunMean:   append([]float64(nil), v.RunMean...),
+			RunVar:    append([]float64(nil), v.RunVar...),
+		})
+	case *nn.Sequential:
+		for _, c := range v.Layers {
+			collectBN(c, out)
+		}
+	case *nn.Residual:
+		collectBN(v.Body, out)
+		if v.Shortcut != nil {
+			collectBN(v.Shortcut, out)
+		}
+		if v.PostAct != nil {
+			collectBN(v.PostAct, out)
+		}
+	}
+}
+
+// Restore rebuilds the model from a checkpoint: reconstructs the
+// architecture with the recorded choices, then loads parameters and
+// batch-norm statistics by name.
+func Restore(ck *Checkpoint) (*models.Model, error) {
+	if ck.Version != FormatVersion {
+		return nil, fmt.Errorf("modelio: checkpoint version %d, want %d", ck.Version, FormatVersion)
+	}
+	cfg := models.Config{
+		NumClasses:   ck.NumClasses,
+		InputHW:      ck.InputHW,
+		InputC:       ck.InputC,
+		WidthMult:    ck.WidthMult,
+		LatHW:        ck.LatHW,
+		ImageNetStem: ck.ImageNetStem,
+		Seed:         ck.Seed,
+		ActAt: func(slot int) models.ActChoice {
+			if c, ok := ck.ActChoices[slot]; ok {
+				return c
+			}
+			return models.ActReLU
+		},
+		PoolAt: func(slot int) models.PoolChoice {
+			if c, ok := ck.PoolChoices[slot]; ok {
+				return c
+			}
+			return models.PoolMax
+		},
+	}
+	m, err := models.ByName(ck.Backbone, cfg)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]NamedTensor{}
+	for _, t := range ck.Params {
+		byName[t.Name] = t
+	}
+	for _, p := range m.Net.Params() {
+		t, ok := byName[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("modelio: checkpoint missing parameter %q", p.Name)
+		}
+		if len(t.Data) != p.W.Len() {
+			return nil, fmt.Errorf("modelio: parameter %q has %d values, want %d",
+				p.Name, len(t.Data), p.W.Len())
+		}
+		copy(p.W.Data, t.Data)
+	}
+	bnByName := map[string]BNStat{}
+	for _, s := range ck.BNStats {
+		bnByName[s.GammaName] = s
+	}
+	if err := restoreBN(m.Net.Root, bnByName); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func restoreBN(l nn.Layer, stats map[string]BNStat) error {
+	switch v := l.(type) {
+	case *nn.BatchNorm2D:
+		s, ok := stats[v.Gamma.Name]
+		if !ok {
+			return fmt.Errorf("modelio: checkpoint missing BN stats for %q", v.Gamma.Name)
+		}
+		if len(s.RunMean) != len(v.RunMean) {
+			return fmt.Errorf("modelio: BN %q has %d channels, want %d",
+				v.Gamma.Name, len(s.RunMean), len(v.RunMean))
+		}
+		copy(v.RunMean, s.RunMean)
+		copy(v.RunVar, s.RunVar)
+	case *nn.Sequential:
+		for _, c := range v.Layers {
+			if err := restoreBN(c, stats); err != nil {
+				return err
+			}
+		}
+	case *nn.Residual:
+		if err := restoreBN(v.Body, stats); err != nil {
+			return err
+		}
+		if v.Shortcut != nil {
+			if err := restoreBN(v.Shortcut, stats); err != nil {
+				return err
+			}
+		}
+		if v.PostAct != nil {
+			if err := restoreBN(v.PostAct, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Encode writes a checkpoint to w.
+func Encode(w io.Writer, ck *Checkpoint) error {
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// Decode reads a checkpoint from r.
+func Decode(r io.Reader) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("modelio: decode: %w", err)
+	}
+	return &ck, nil
+}
+
+// SaveFile serializes a model to disk.
+func SaveFile(path string, m *models.Model, backbone string, cfg models.Config, ch nas.Choices) error {
+	ck, err := Save(m, backbone, cfg, ch)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, ck); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// LoadFile restores a model from disk.
+func LoadFile(path string) (*models.Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return Restore(ck)
+}

@@ -1,0 +1,155 @@
+package modelio
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"pasnet/internal/dataset"
+	"pasnet/internal/models"
+	"pasnet/internal/nas"
+)
+
+// trainedModel builds a small mixed-activation model with realistic BN
+// statistics.
+func trainedModel(t *testing.T) (*models.Model, models.Config, nas.Choices) {
+	t.Helper()
+	ch := nas.Choices{
+		Act:  map[int]models.ActChoice{},
+		Pool: map[int]models.PoolChoice{},
+	}
+	probe := models.CIFARConfig(0.0625, 5)
+	probe.InputHW = 16
+	probe.NumClasses = 4
+	probe.OpsOnly = true
+	pm, err := models.ByName("resnet18", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pm.Slots {
+		if s.Kind == models.SlotAct {
+			if s.ID%2 == 0 {
+				ch.Act[s.ID] = models.ActX2
+			} else {
+				ch.Act[s.ID] = models.ActReLU
+			}
+		} else {
+			ch.Pool[s.ID] = models.PoolAvg
+		}
+	}
+	cfg := ch.Apply(models.CIFARConfig(0.0625, 5))
+	cfg.InputHW = 16
+	cfg.NumClasses = 4
+	m, err := models.ByName("resnet18", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dataset.Synthetic(dataset.SynthConfig{
+		N: 64, Classes: 4, C: 3, HW: 16, LatentDim: 8,
+		TeacherHidden: 16, TeacherDepth: 2, Noise: 0.1, Seed: 6,
+	})
+	opts := nas.DefaultTrainOptions()
+	opts.Steps = 20
+	opts.BatchSize = 8
+	if _, err := nas.TrainModel(m, d, d, opts); err != nil {
+		t.Fatal(err)
+	}
+	return m, cfg, ch
+}
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	m, cfg, ch := trainedModel(t)
+	d := dataset.Synthetic(dataset.SynthConfig{
+		N: 8, Classes: 4, C: 3, HW: 16, LatentDim: 8,
+		TeacherHidden: 16, TeacherDepth: 2, Noise: 0.1, Seed: 6,
+	})
+	x, _ := d.Batch([]int{0, 1, 2})
+	want := m.Net.Forward(x, false)
+
+	ck, err := Save(m, "resnet18", cfg, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Restore(ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m2.Net.Forward(x, false)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("restored model diverges at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	// Architecture must be preserved exactly (ops lists identical).
+	if len(m2.Ops) != len(m.Ops) {
+		t.Fatal("op list length changed across restore")
+	}
+	for i := range m.Ops {
+		if m.Ops[i].Kind != m2.Ops[i].Kind || m.Ops[i].Shape != m2.Ops[i].Shape {
+			t.Fatalf("op %d changed across restore", i)
+		}
+	}
+}
+
+func TestSaveRejectsOpsOnly(t *testing.T) {
+	m := models.ResNet18(models.ImageNetConfig())
+	if _, err := Save(m, "resnet18", models.ImageNetConfig(), nas.Choices{}); err == nil {
+		t.Fatal("ops-only model must be rejected")
+	}
+}
+
+func TestRestoreRejectsBadVersion(t *testing.T) {
+	m, cfg, ch := trainedModel(t)
+	ck, err := Save(m, "resnet18", cfg, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Version = 99
+	if _, err := Restore(ck); err == nil {
+		t.Fatal("future version must be rejected")
+	}
+}
+
+func TestRestoreRejectsMissingParam(t *testing.T) {
+	m, cfg, ch := trainedModel(t)
+	ck, err := Save(m, "resnet18", cfg, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Params = ck.Params[1:]
+	if _, err := Restore(ck); err == nil {
+		t.Fatal("missing parameter must be rejected")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	m, cfg, ch := trainedModel(t)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := SaveFile(path, m, "resnet18", cfg, ch); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Name != m.Name {
+		t.Fatalf("restored name %q", m2.Name)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage must fail to decode")
+	}
+}

@@ -1,0 +1,232 @@
+package models
+
+import (
+	"fmt"
+
+	"pasnet/internal/nn"
+)
+
+// residual wraps body (and optional shortcut) builders into a residual
+// block, recording the addition op and keeping geometry consistent.
+func (b *builder) residual(body func(), shortcut func()) {
+	preTrainC, preTrainHW := b.trainC, b.trainHW
+	preLatC, preLatHW := b.latC, b.latHW
+	bodyLayers := b.subLayers(body)
+	postTrainC, postTrainHW := b.trainC, b.trainHW
+	postLatC, postLatHW := b.latC, b.latHW
+
+	var scLayer nn.Layer
+	if shortcut != nil {
+		b.trainC, b.trainHW = preTrainC, preTrainHW
+		b.latC, b.latHW = preLatC, preLatHW
+		scLayers := b.subLayers(shortcut)
+		if b.latC != postLatC || b.latHW != postLatHW {
+			panic(fmt.Sprintf("models: shortcut geometry (%d,%d) != body (%d,%d)",
+				b.latC, b.latHW, postLatC, postLatHW))
+		}
+		if len(scLayers) > 0 {
+			scLayer = nn.NewSequential(scLayers...)
+		}
+	} else if preLatC != postLatC || preLatHW != postLatHW {
+		panic(fmt.Sprintf("models: identity shortcut over geometry change (%d,%d)->(%d,%d)",
+			preLatC, preLatHW, postLatC, postLatHW))
+	}
+	b.trainC, b.trainHW = postTrainC, postTrainHW
+	b.latC, b.latHW = postLatC, postLatHW
+	b.residualAdd()
+	if !b.cfg.OpsOnly {
+		b.add(nn.NewResidual(nn.NewSequential(bodyLayers...), scLayer, nil))
+	}
+}
+
+// flatten appends an N×C×H×W → N×CHW reshape (no hardware cost).
+func (b *builder) flatten() {
+	b.add(nn.NewFlatten())
+	if !b.cfg.OpsOnly {
+		b.trainC, b.trainHW = b.trainC*b.trainHW*b.trainHW, 1
+	}
+	b.latC, b.latHW = b.latC*b.latHW*b.latHW, 1
+}
+
+// VGG16 builds the VGG-16-BN backbone: thirteen 3×3 convolutions in five
+// stages separated by searchable 2×2 pooling slots, every convolution
+// followed by an activation slot.
+func VGG16(cfg Config) *Model {
+	b := newBuilder(cfg)
+	plan := [][]int{{64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512}, {512, 512, 512}}
+	for _, stage := range plan {
+		for _, c := range stage {
+			b.conv(c, 3, 1, 1)
+			b.act()
+		}
+		b.pool(2, 2)
+	}
+	b.flatten()
+	b.fc()
+	return b.finish("VGG16")
+}
+
+// resNetStem emits the CIFAR (3×3/1) or ImageNet (7×7/2 + 3×3/2 maxpool)
+// stem.
+func (b *builder) resNetStem() {
+	if b.cfg.ImageNetStem {
+		b.conv(64, 7, 2, 3)
+		b.act()
+		// The stem pool is a searchable slot: the paper's all-polynomial
+		// variants resolve it to 2PC-AvgPool, which is what makes the
+		// Table I latencies reachable (a 112x112x64 2PC-MaxPool alone
+		// would cost ~0.8 s).
+		b.pool(3, 2)
+		return
+	}
+	b.conv(64, 3, 1, 1)
+	b.act()
+}
+
+// basicBlock is the ResNet-18/34 two-conv residual block.
+func (b *builder) basicBlock(outC, stride int) {
+	needProj := stride != 1 || b.latC != outC
+	b.residual(func() {
+		b.conv(outC, 3, stride, 1)
+		b.act()
+		b.conv(outC, 3, 1, 1)
+	}, projIf(b, needProj, outC, stride))
+	b.act()
+}
+
+// bottleneck is the ResNet-50 1×1-3×3-1×1 block with 4× expansion.
+func (b *builder) bottleneck(midC, stride int) {
+	outC := midC * 4
+	needProj := stride != 1 || b.latC != outC
+	b.residual(func() {
+		b.conv(midC, 1, 1, 0)
+		b.act()
+		b.conv(midC, 3, stride, 1)
+		b.act()
+		b.conv(outC, 1, 1, 0)
+	}, projIf(b, needProj, outC, stride))
+	b.act()
+}
+
+// projIf returns a projection-shortcut builder or nil for identity.
+func projIf(b *builder, need bool, outC, stride int) func() {
+	if !need {
+		return nil
+	}
+	return func() { b.conv(outC, 1, stride, 0) }
+}
+
+// resNet builds a ResNet from per-stage block counts; bottle selects the
+// bottleneck block (ResNet-50) versus the basic block.
+func resNet(cfg Config, name string, blocks [4]int, bottle bool) *Model {
+	b := newBuilder(cfg)
+	b.resNetStem()
+	channels := [4]int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		for blk := 0; blk < blocks[stage]; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			if bottle {
+				b.bottleneck(channels[stage], stride)
+			} else {
+				b.basicBlock(channels[stage], stride)
+			}
+		}
+	}
+	b.gap()
+	b.fc()
+	return b.finish(name)
+}
+
+// ResNet18 builds the 2-2-2-2 basic-block ResNet.
+func ResNet18(cfg Config) *Model { return resNet(cfg, "ResNet18", [4]int{2, 2, 2, 2}, false) }
+
+// ResNet34 builds the 3-4-6-3 basic-block ResNet.
+func ResNet34(cfg Config) *Model { return resNet(cfg, "ResNet34", [4]int{3, 4, 6, 3}, false) }
+
+// ResNet50 builds the 3-4-6-3 bottleneck ResNet.
+func ResNet50(cfg Config) *Model { return resNet(cfg, "ResNet50", [4]int{3, 4, 6, 3}, true) }
+
+// invertedResidual is MobileNetV2's expand→depthwise→project block.
+func (b *builder) invertedResidual(expand, outC, stride int) {
+	inC := b.latC
+	hidden := inC * expand
+	body := func() {
+		if expand != 1 {
+			b.conv(hidden, 1, 1, 0)
+			b.act()
+		}
+		b.dwconv(3, stride, 1)
+		b.act()
+		b.conv(outC, 1, 1, 0) // linear bottleneck: no activation
+	}
+	if stride == 1 && inC == outC {
+		b.residual(body, nil)
+	} else {
+		body()
+	}
+}
+
+// MobileNetV2 builds the inverted-residual backbone. The CIFAR variant
+// keeps the stem and the first expansion stage at stride 1 (standard
+// 32×32 port); the ImageNet variant uses the original strides.
+func MobileNetV2(cfg Config) *Model {
+	b := newBuilder(cfg)
+	stemStride := 1
+	stage2Stride := 1
+	if cfg.ImageNetStem {
+		stemStride = 2
+		stage2Stride = 2
+	}
+	b.conv(32, 3, stemStride, 1)
+	b.act()
+	type ir struct{ t, c, n, s int }
+	settings := []ir{
+		{1, 16, 1, 1},
+		{6, 24, 2, stage2Stride},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	for _, s := range settings {
+		for i := 0; i < s.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = s.s
+			}
+			b.invertedResidual(s.t, s.c, stride)
+		}
+	}
+	b.conv(1280, 1, 1, 0)
+	b.act()
+	b.gap()
+	b.fc()
+	return b.finish("MobileNetV2")
+}
+
+// Names lists the available backbones.
+func Names() []string {
+	return []string{"vgg16", "resnet18", "resnet34", "resnet50", "mobilenetv2"}
+}
+
+// ByName builds a backbone by its lowercase name.
+func ByName(name string, cfg Config) (*Model, error) {
+	switch name {
+	case "vgg16":
+		return VGG16(cfg), nil
+	case "resnet18":
+		return ResNet18(cfg), nil
+	case "resnet34":
+		return ResNet34(cfg), nil
+	case "resnet50":
+		return ResNet50(cfg), nil
+	case "mobilenetv2":
+		return MobileNetV2(cfg), nil
+	default:
+		return nil, fmt.Errorf("models: unknown backbone %q (have %v)", name, Names())
+	}
+}

@@ -1,0 +1,95 @@
+package mpc
+
+import (
+	"testing"
+
+	"pasnet/internal/rng"
+)
+
+func TestArgMaxMatchesPlaintext(t *testing.T) {
+	r := rng.New(61)
+	const n, d = 4, 7
+	xs := make([]float64, n*d)
+	for i := range xs {
+		xs[i] = r.Norm() * 20
+	}
+	want := make([]uint64, n)
+	for b := 0; b < n; b++ {
+		best := 0
+		for j := 1; j < d; j++ {
+			if xs[b*d+j] > xs[b*d+best] {
+				best = j
+			}
+		}
+		want[b] = uint64(best)
+	}
+	runBoth(t, 60, func(p *Party) error {
+		var enc []uint64
+		if p.ID == 0 {
+			enc = p.EncodeTensor(xs)
+		}
+		x, err := p.ShareInput(0, enc, n, d)
+		if err != nil {
+			return err
+		}
+		idx, err := p.ArgMax(x)
+		if err != nil {
+			return err
+		}
+		got, err := p.Reveal(idx)
+		if err != nil {
+			return err
+		}
+		for b := 0; b < n; b++ {
+			if got[b] != want[b] {
+				t.Errorf("party %d row %d: argmax %d, want %d", p.ID, b, got[b], want[b])
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+func TestArgMaxPowerOfTwoAndSingle(t *testing.T) {
+	// d=4 exercises the clean tournament; d=1 the degenerate case.
+	for _, d := range []int{1, 4} {
+		xs := make([]float64, d)
+		for j := range xs {
+			xs[j] = float64(j * j)
+		}
+		runBoth(t, uint64(62+d), func(p *Party) error {
+			var enc []uint64
+			if p.ID == 0 {
+				enc = p.EncodeTensor(xs)
+			}
+			x, err := p.ShareInput(0, enc, 1, d)
+			if err != nil {
+				return err
+			}
+			idx, err := p.ArgMax(x)
+			if err != nil {
+				return err
+			}
+			got, err := p.Reveal(idx)
+			if err != nil {
+				return err
+			}
+			if got[0] != uint64(d-1) {
+				t.Errorf("d=%d: argmax %d, want %d", d, got[0], d-1)
+			}
+			return nil
+		})
+	}
+}
+
+func TestArgMaxRejectsBadShape(t *testing.T) {
+	runBoth(t, 65, func(p *Party) error {
+		if _, err := p.ArgMax(NewShare(3)); err == nil {
+			t.Error("1-D share must be rejected")
+		}
+		if _, err := p.ArgMax(NewShare(2, 0)); err == nil {
+			t.Error("empty rows must be rejected")
+		}
+		return nil
+	})
+}

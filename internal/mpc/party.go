@@ -1,0 +1,376 @@
+package mpc
+
+import (
+	"fmt"
+
+	"pasnet/internal/fixed"
+	"pasnet/internal/rng"
+	"pasnet/internal/transport"
+)
+
+// Party is one of the two computing servers. Both parties execute the same
+// protocol program; methods are symmetric and keep the two endpoints in
+// lockstep through the shared transport.
+type Party struct {
+	// ID is 0 (model vendor) or 1 (client-facing server).
+	ID int
+	// Conn is the channel to the peer.
+	Conn transport.Conn
+	// Dealer supplies this party's halves of offline correlations.
+	Dealer *Dealer
+	// Codec fixes the fixed-point precision for truncation.
+	Codec fixed.Codec64
+	// Rand is this party's private randomness (masks, OT secrets).
+	Rand *rng.RNG
+}
+
+// NewParty assembles a party endpoint. dealerSeed must match the peer's;
+// privSeed must differ between parties.
+func NewParty(id int, conn transport.Conn, dealerSeed, privSeed uint64, codec fixed.Codec64) *Party {
+	if id != 0 && id != 1 {
+		panic(fmt.Sprintf("mpc: party id must be 0 or 1, got %d", id))
+	}
+	return &Party{
+		ID:     id,
+		Conn:   conn,
+		Dealer: NewDealer(dealerSeed, id),
+		Codec:  codec,
+		Rand:   rng.New(privSeed),
+	}
+}
+
+// Other returns the peer's ID.
+func (p *Party) Other() int { return 1 - p.ID }
+
+// ShareInput secret-shares a tensor held by owner. The owner passes the
+// plaintext ring encoding; the other party passes nil. Both receive their
+// additive share (paper: shr(x) = (r, x−r)).
+func (p *Party) ShareInput(owner int, secret []uint64, shape ...int) (Share, error) {
+	sh := NewShare(shape...)
+	if p.ID == owner {
+		if len(secret) != len(sh.V) {
+			return Share{}, fmt.Errorf("mpc: input length %d != shape %v", len(secret), shape)
+		}
+		mask := make([]uint64, len(secret))
+		p.Rand.FillUint64(mask)
+		out := make([]uint64, len(secret))
+		ringSub(out, secret, mask)
+		if err := p.Conn.SendUint64s(out); err != nil {
+			return Share{}, fmt.Errorf("mpc: share input: %w", err)
+		}
+		copy(sh.V, mask)
+		return sh, nil
+	}
+	v, err := p.Conn.RecvUint64s()
+	if err != nil {
+		return Share{}, fmt.Errorf("mpc: receive input share: %w", err)
+	}
+	if len(v) != len(sh.V) {
+		return Share{}, fmt.Errorf("mpc: received share length %d != shape %v", len(v), shape)
+	}
+	sh.V = v
+	return sh, nil
+}
+
+// Reveal reconstructs the secret to both parties (paper: rec(⟦x⟧)).
+func (p *Party) Reveal(sh Share) ([]uint64, error) {
+	theirs, err := transport.Exchange(p.Conn, sh.V)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: reveal: %w", err)
+	}
+	if len(theirs) != len(sh.V) {
+		return nil, fmt.Errorf("mpc: reveal length %d != %d", len(theirs), len(sh.V))
+	}
+	out := make([]uint64, len(sh.V))
+	ringAdd(out, sh.V, theirs)
+	return out, nil
+}
+
+// RevealTo reconstructs the secret only at the named party; the other
+// party returns nil.
+func (p *Party) RevealTo(owner int, sh Share) ([]uint64, error) {
+	if p.ID == owner {
+		theirs, err := p.Conn.RecvUint64s()
+		if err != nil {
+			return nil, fmt.Errorf("mpc: reveal-to recv: %w", err)
+		}
+		out := make([]uint64, len(sh.V))
+		ringAdd(out, sh.V, theirs)
+		return out, nil
+	}
+	if err := p.Conn.SendUint64s(sh.V); err != nil {
+		return nil, fmt.Errorf("mpc: reveal-to send: %w", err)
+	}
+	return nil, nil
+}
+
+// Add returns shares of x + y (local, paper Eq. 1).
+func (p *Party) Add(x, y Share) Share {
+	out := NewShare(x.Shape...)
+	ringAdd(out.V, x.V, y.V)
+	return out
+}
+
+// Sub returns shares of x − y (local).
+func (p *Party) Sub(x, y Share) Share {
+	out := NewShare(x.Shape...)
+	ringSub(out.V, x.V, y.V)
+	return out
+}
+
+// AddPublic adds a public ring constant vector to the secret: party 0
+// absorbs it, party 1 copies through (x + c = (x0 + c) + x1).
+func (p *Party) AddPublic(x Share, c []uint64) Share {
+	out := x.Clone()
+	if p.ID == 0 {
+		ringAdd(out.V, x.V, c)
+	}
+	return out
+}
+
+// ScalePublicRaw multiplies by a public ring scalar without rescaling
+// (used for integer scalars).
+func (p *Party) ScalePublicRaw(x Share, s uint64) Share {
+	out := NewShare(x.Shape...)
+	ringScale(out.V, x.V, s)
+	return out
+}
+
+// ScalePublic multiplies a fixed-point share by a public real scalar and
+// truncates back to single precision.
+func (p *Party) ScalePublic(x Share, s float64) Share {
+	out := p.ScalePublicRaw(x, p.Codec.Encode(s))
+	p.TruncateInPlace(&out)
+	return out
+}
+
+// TruncateInPlace rescales a double-precision product share back to f
+// fractional bits using SecureML local truncation: party 0 shifts its
+// share arithmetically, party 1 shifts the negation. The reconstruction
+// error is at most 1 ULP except with probability about |x|·2^(2f-63),
+// which is why the executable ring is 64 bits wide (see fixed.Codec64).
+func (p *Party) TruncateInPlace(x *Share) {
+	f := p.Codec.FracBits
+	if p.ID == 0 {
+		for i, v := range x.V {
+			x.V[i] = uint64(int64(v) >> f)
+		}
+		return
+	}
+	for i, v := range x.V {
+		x.V[i] = -uint64(int64(-v) >> f)
+	}
+}
+
+// openPair reveals E = x−a and F = y−b in a single exchange round.
+func (p *Party) openPair(x, a, y, b []uint64) (e, f []uint64, err error) {
+	n := len(x)
+	mine := make([]uint64, 2*n)
+	ringSub(mine[:n], x, a)
+	ringSub(mine[n:], y, b)
+	theirs, err := transport.Exchange(p.Conn, mine)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(theirs) != 2*n {
+		return nil, nil, fmt.Errorf("mpc: open-pair length %d != %d", len(theirs), 2*n)
+	}
+	e = make([]uint64, n)
+	f = make([]uint64, n)
+	ringAdd(e, mine[:n], theirs[:n])
+	ringAdd(f, mine[n:], theirs[n:])
+	return e, f, nil
+}
+
+// mulCombine assembles R_i = −i·E∘F + X_i∘F + E∘Y_i + Z_i (paper Eq. 2)
+// where ∘ is the bilinear op given by apply.
+func (p *Party) mulCombine(out, e, f, x, y, z []uint64, apply func(dst, a, b []uint64)) {
+	tmp := make([]uint64, len(out))
+	apply(out, x, f) // X_i ∘ F
+	apply(tmp, e, y) // E ∘ Y_i
+	ringAdd(out, out, tmp)
+	ringAdd(out, out, z)
+	if p.ID == 1 {
+		apply(tmp, e, f)
+		ringSub(out, out, tmp) // −1·E∘F on one party only
+	}
+}
+
+// MulHadamardRaw returns shares of x ⊙ y without truncation (for integer
+// operands such as B2A bits).
+func (p *Party) MulHadamardRaw(x, y Share) (Share, error) {
+	if x.Len() != y.Len() {
+		return Share{}, fmt.Errorf("mpc: hadamard size mismatch %v vs %v", x.Shape, y.Shape)
+	}
+	a, b, z := p.Dealer.HadamardTriple(x.Len())
+	e, f, err := p.openPair(x.V, a, y.V, b)
+	if err != nil {
+		return Share{}, fmt.Errorf("mpc: hadamard open: %w", err)
+	}
+	out := NewShare(x.Shape...)
+	p.mulCombine(out.V, e, f, x.V, y.V, z, ringMul)
+	return out, nil
+}
+
+// MulHadamard returns shares of the fixed-point product x ⊙ y, truncated.
+func (p *Party) MulHadamard(x, y Share) (Share, error) {
+	out, err := p.MulHadamardRaw(x, y)
+	if err != nil {
+		return Share{}, err
+	}
+	p.TruncateInPlace(&out)
+	return out, nil
+}
+
+// Square returns shares of x ⊙ x (fixed-point, truncated) using a Beaver
+// square pair: R_i = Z_i + 2E∘A_i + i·E∘E with E = rec(x − a) (paper Eq. 3,
+// with the E² term charged to one party so it is counted once).
+func (p *Party) Square(x Share) (Share, error) {
+	a, z := p.Dealer.SquarePair(x.Len())
+	mine := make([]uint64, x.Len())
+	ringSub(mine, x.V, a)
+	theirs, err := transport.Exchange(p.Conn, mine)
+	if err != nil {
+		return Share{}, fmt.Errorf("mpc: square open: %w", err)
+	}
+	e := make([]uint64, x.Len())
+	ringAdd(e, mine, theirs)
+	out := NewShare(x.Shape...)
+	tmp := make([]uint64, x.Len())
+	ringMul(tmp, e, a) // E ∘ A_i
+	for i := range out.V {
+		out.V[i] = z[i] + 2*tmp[i]
+	}
+	if p.ID == 1 {
+		ringMul(tmp, e, e)
+		ringAdd(out.V, out.V, tmp)
+	}
+	p.TruncateInPlace(&out)
+	return out, nil
+}
+
+// MatMul returns truncated fixed-point shares of x (m×k) @ y (k×n).
+func (p *Party) MatMul(x, y Share) (Share, error) {
+	if len(x.Shape) != 2 || len(y.Shape) != 2 || x.Shape[1] != y.Shape[0] {
+		return Share{}, fmt.Errorf("mpc: matmul shapes %v x %v", x.Shape, y.Shape)
+	}
+	m, k, n := x.Shape[0], x.Shape[1], y.Shape[1]
+	a, b, z := p.Dealer.MatMulTriple(m, k, n)
+	e, f, err := p.openPairUneven(x.V, a, y.V, b)
+	if err != nil {
+		return Share{}, fmt.Errorf("mpc: matmul open: %w", err)
+	}
+	out := NewShare(m, n)
+	apply := func(dst, aa, bb []uint64) { ringMatMul(dst, aa, bb, m, k, n) }
+	p.mulCombine(out.V, e, f, x.V, y.V, z, apply)
+	p.TruncateInPlace(&out)
+	return out, nil
+}
+
+// Conv2D returns truncated fixed-point shares of conv(x, w) for the given
+// geometry (paper's 2PC-Conv, Eq. 16's communication pattern: one opening
+// exchange).
+func (p *Party) Conv2D(x, w Share, dims ConvDims) (Share, error) {
+	if x.Len() != dims.InLen() || w.Len() != dims.KLen() {
+		return Share{}, fmt.Errorf("mpc: conv dims mismatch: x %d vs %d, w %d vs %d",
+			x.Len(), dims.InLen(), w.Len(), dims.KLen())
+	}
+	a, b, z := p.Dealer.ConvTriple(dims)
+	e, f, err := p.openPairUneven(x.V, a, w.V, b)
+	if err != nil {
+		return Share{}, fmt.Errorf("mpc: conv open: %w", err)
+	}
+	oh, ow := dims.OutHW()
+	out := NewShare(dims.N, dims.OutC, oh, ow)
+	apply := func(dst, aa, bb []uint64) { ringConv2D(dst, aa, bb, dims) }
+	p.mulCombine(out.V, e, f, x.V, w.V, z, apply)
+	p.TruncateInPlace(&out)
+	return out, nil
+}
+
+// openPairUneven opens E = x−a and F = y−b of different lengths in one
+// exchange round.
+func (p *Party) openPairUneven(x, a, y, b []uint64) (e, f []uint64, err error) {
+	nx, ny := len(x), len(y)
+	mine := make([]uint64, nx+ny)
+	ringSub(mine[:nx], x, a)
+	ringSub(mine[nx:], y, b)
+	theirs, err := transport.Exchange(p.Conn, mine)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(theirs) != nx+ny {
+		return nil, nil, fmt.Errorf("mpc: open length %d != %d", len(theirs), nx+ny)
+	}
+	e = make([]uint64, nx)
+	f = make([]uint64, ny)
+	ringAdd(e, mine[:nx], theirs[:nx])
+	ringAdd(f, mine[nx:], theirs[nx:])
+	return e, f, nil
+}
+
+// bitAnd computes XOR shares of a AND b elementwise via dealer bit triples
+// (one exchange round for the whole batch).
+func (p *Party) bitAnd(a, b BitShare) (BitShare, error) {
+	n := len(a)
+	if len(b) != n {
+		return nil, fmt.Errorf("mpc: bitAnd size mismatch %d vs %d", n, len(b))
+	}
+	ta, tb, tc := p.Dealer.BitTriples(n)
+	mine := make([]byte, 2*n)
+	for i := 0; i < n; i++ {
+		mine[i] = a[i] ^ ta[i]
+		mine[n+i] = b[i] ^ tb[i]
+	}
+	theirs, err := transport.ExchangeBytes(p.Conn, mine)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: bitAnd open: %w", err)
+	}
+	if len(theirs) != 2*n {
+		return nil, fmt.Errorf("mpc: bitAnd open length %d != %d", len(theirs), 2*n)
+	}
+	out := make(BitShare, n)
+	for i := 0; i < n; i++ {
+		d := mine[i] ^ theirs[i]
+		e := mine[n+i] ^ theirs[n+i]
+		out[i] = tc[i] ^ (d & tb[i]) ^ (e & ta[i])
+		if p.ID == 0 {
+			out[i] ^= d & e
+		}
+	}
+	return out, nil
+}
+
+// B2A converts XOR bit shares to arithmetic shares over the ring using
+// b = b0 + b1 − 2·b0·b1, with the cross term from one Beaver product.
+// The result is an *integer* sharing (not fixed-point scaled).
+func (p *Party) B2A(bits BitShare, shape ...int) (Share, error) {
+	n := len(bits)
+	x := NewShare(n)
+	y := NewShare(n)
+	for i, b := range bits {
+		if p.ID == 0 {
+			x.V[i] = uint64(b)
+		} else {
+			y.V[i] = uint64(b)
+		}
+	}
+	prod, err := p.MulHadamardRaw(x, y) // shares of b0·b1
+	if err != nil {
+		return Share{}, fmt.Errorf("mpc: b2a: %w", err)
+	}
+	out := NewShare(shape...)
+	if out.Len() != n {
+		return Share{}, fmt.Errorf("mpc: b2a shape %v != %d bits", shape, n)
+	}
+	for i := 0; i < n; i++ {
+		var own uint64
+		if p.ID == 0 {
+			own = x.V[i]
+		} else {
+			own = y.V[i]
+		}
+		out.V[i] = own - 2*prod.V[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+// Package mpc implements PASNet's semi-honest two-party computation layer:
+// additive secret sharing over Z_{2^64}, a trusted dealer for Beaver-style
+// correlated randomness, and the operator protocols of paper Sec. II-III —
+// 2PC-Conv, 2PC-ReLU (OT-based comparison), 2PC-MaxPool, 2PC-AvgPool and
+// 2PC-X²act.
+//
+// Both parties run the same program against a transport.Conn; party 0 is
+// the model vendor, party 1 the client-facing server (paper Fig. 2/3).
+// Fixed-point semantics come from package fixed; after every
+// share-by-share multiplication the product is rescaled with the SecureML
+// local-truncation trick (±1 LSB error with overwhelming probability for
+// values far from the ring boundary).
+package mpc
+
+import (
+	"fmt"
+
+	"pasnet/internal/rng"
+)
+
+// Share is one party's additive share of a secret tensor over Z_{2^64}.
+// The secret equals the elementwise wrapping sum of the two parties' V.
+type Share struct {
+	// Shape mirrors the logical tensor shape (NCHW for images).
+	Shape []int
+	// V holds this party's share words in row-major order.
+	V []uint64
+}
+
+// NewShare returns an all-zero share of the given shape.
+func NewShare(shape ...int) Share {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	return Share{Shape: append([]int(nil), shape...), V: make([]uint64, n)}
+}
+
+// Len returns the element count.
+func (s Share) Len() int { return len(s.V) }
+
+// Clone deep-copies the share.
+func (s Share) Clone() Share {
+	c := Share{Shape: append([]int(nil), s.Shape...), V: make([]uint64, len(s.V))}
+	copy(c.V, s.V)
+	return c
+}
+
+// Reshape returns a view with a new shape of identical size.
+func (s Share) Reshape(shape ...int) Share {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(s.V) {
+		panic(fmt.Sprintf("mpc: cannot reshape %v to %v", s.Shape, shape))
+	}
+	return Share{Shape: append([]int(nil), shape...), V: s.V}
+}
+
+// BitShare is one party's XOR share of a vector of bits (one byte per bit).
+type BitShare []byte
+
+// SplitSecret additively shares a secret vector using randomness from r,
+// returning the two halves. It is a dealer-side helper used by tests and
+// by input preparation.
+func SplitSecret(secret []uint64, r *rng.RNG) (s0, s1 []uint64) {
+	s0 = make([]uint64, len(secret))
+	s1 = make([]uint64, len(secret))
+	r.FillUint64(s0)
+	for i := range secret {
+		s1[i] = secret[i] - s0[i]
+	}
+	return s0, s1
+}
+
+// CombineShares reconstructs the secret from both halves.
+func CombineShares(s0, s1 []uint64) []uint64 {
+	out := make([]uint64, len(s0))
+	for i := range s0 {
+		out[i] = s0[i] + s1[i]
+	}
+	return out
+}
+
+// splitBits XOR-shares a bit vector.
+func splitBits(bits []byte, r *rng.RNG) (b0, b1 []byte) {
+	b0 = make([]byte, len(bits))
+	b1 = make([]byte, len(bits))
+	for i := range bits {
+		b0[i] = byte(r.Uint64()) & 1
+		b1[i] = bits[i] ^ b0[i]
+	}
+	return b0, b1
+}
+
+// ring helpers over Z_{2^64} vectors.
+
+func ringAdd(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+func ringSub(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+func ringMul(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+func ringScale(dst, a []uint64, s uint64) {
+	for i := range dst {
+		dst[i] = s * a[i]
+	}
+}
+
+// ringMatMul computes the wrapping matrix product c = a(m×k) @ b(k×n).
+func ringMatMul(c, a, b []uint64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		crow := c[i*n : (i+1)*n]
+		for x := range crow {
+			crow[x] = 0
+		}
+		arow := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// ConvDims captures the geometry of a ring convolution.
+type ConvDims struct {
+	// N, InC, H, W describe the input tensor.
+	N, InC, H, W int
+	// OutC, KH, KW describe the kernel.
+	OutC, KH, KW int
+	// Stride and Pad apply to both spatial dims.
+	Stride, Pad int
+	// Groups is the group count (0 or 1 dense; InC == OutC == Groups is a
+	// depthwise convolution). Kernel layout is OutC x (InC/Groups) x KH x KW.
+	Groups int
+}
+
+// groups returns the normalized group count.
+func (d ConvDims) groups() int {
+	if d.Groups <= 1 {
+		return 1
+	}
+	return d.Groups
+}
+
+// OutHW returns the output spatial size.
+func (d ConvDims) OutHW() (int, int) {
+	oh := (d.H+2*d.Pad-d.KH)/d.Stride + 1
+	ow := (d.W+2*d.Pad-d.KW)/d.Stride + 1
+	return oh, ow
+}
+
+// InLen and KLen and OutLen return flat element counts.
+func (d ConvDims) InLen() int { return d.N * d.InC * d.H * d.W }
+func (d ConvDims) KLen() int  { return d.OutC * (d.InC / d.groups()) * d.KH * d.KW }
+func (d ConvDims) OutLen() int {
+	oh, ow := d.OutHW()
+	return d.N * d.OutC * oh * ow
+}
+
+// ringConv2D computes a wrapping NCHW convolution: x (N,InC,H,W) with
+// kernel k (OutC,InC/Groups,KH,KW) into out (N,OutC,OH,OW).
+func ringConv2D(out, x, k []uint64, d ConvDims) {
+	oh, ow := d.OutHW()
+	g := d.groups()
+	icPerG := d.InC / g
+	ocPerG := d.OutC / g
+	oi := 0
+	for b := 0; b < d.N; b++ {
+		for oc := 0; oc < d.OutC; oc++ {
+			group := oc / ocPerG
+			kbase := oc * icPerG * d.KH * d.KW
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum uint64
+					for icg := 0; icg < icPerG; icg++ {
+						ic := group*icPerG + icg
+						xbase := (b*d.InC + ic) * d.H * d.W
+						kcbase := kbase + icg*d.KH*d.KW
+						for ky := 0; ky < d.KH; ky++ {
+							iy := oy*d.Stride + ky - d.Pad
+							if iy < 0 || iy >= d.H {
+								continue
+							}
+							for kx := 0; kx < d.KW; kx++ {
+								ix := ox*d.Stride + kx - d.Pad
+								if ix < 0 || ix >= d.W {
+									continue
+								}
+								sum += x[xbase+iy*d.W+ix] * k[kcbase+ky*d.KW+kx]
+							}
+						}
+					}
+					out[oi] = sum
+					oi++
+				}
+			}
+		}
+	}
+}

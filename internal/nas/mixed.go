@@ -1,0 +1,151 @@
+// Package nas implements PASNet's differentiable cryptographic
+// hardware-aware architecture search (paper Sec. III-B/III-D): gated
+// operators parameterized by trainable α (Eq. 17), a supernet built from a
+// backbone's activation/pooling slots, the latency regularizer
+// Lat(α) = Σ θ_l,j · Lat(OP_l,j) from the hardware LUT, and the bilevel
+// second-order optimization of Algorithm 1.
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"pasnet/internal/hwmodel"
+	"pasnet/internal/models"
+	"pasnet/internal/nn"
+	"pasnet/internal/tensor"
+)
+
+// MixedOp is a gated operator: OP_l(x) = Σ_k θ_l,k · OP_l,k(x) with
+// θ = softmax(α) (paper Eq. 17).
+type MixedOp struct {
+	// Slot is the backbone choice point this op occupies.
+	Slot models.Slot
+	// Alpha holds the architecture parameters (one per candidate).
+	Alpha *nn.Param
+	// Cands are the candidate operators; Kinds their hardware kinds.
+	Cands []nn.Layer
+	Kinds []hwmodel.OpKind
+	// Lats are the candidate latencies in seconds from the LUT.
+	Lats []float64
+
+	outs []*tensor.Tensor
+	ths  []float64
+}
+
+// newMixedOp assembles a gated operator over candidates.
+func newMixedOp(slot models.Slot, cands []nn.Layer, kinds []hwmodel.OpKind, lats []float64) *MixedOp {
+	a := nn.NewParam(fmt.Sprintf("alpha.s%d", slot.ID), len(cands))
+	a.Arch = true
+	return &MixedOp{Slot: slot, Alpha: a, Cands: cands, Kinds: kinds, Lats: lats}
+}
+
+// Theta returns softmax(α).
+func (m *MixedOp) Theta() []float64 {
+	a := m.Alpha.W.Data
+	maxv := a[0]
+	for _, v := range a[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	th := make([]float64, len(a))
+	var sum float64
+	for i, v := range a {
+		th[i] = math.Exp(v - maxv)
+		sum += th[i]
+	}
+	for i := range th {
+		th[i] /= sum
+	}
+	return th
+}
+
+// Forward implements nn.Layer.
+func (m *MixedOp) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	th := m.Theta()
+	if train {
+		m.ths = th
+		m.outs = make([]*tensor.Tensor, len(m.Cands))
+	}
+	var out *tensor.Tensor
+	for k, cand := range m.Cands {
+		y := cand.Forward(x, train)
+		if train {
+			m.outs[k] = y
+		}
+		if out == nil {
+			out = tensor.Scale(y, th[k])
+		} else {
+			tensor.AxpyInto(out, y, th[k])
+		}
+	}
+	return out
+}
+
+// Backward implements nn.Layer: it accumulates ∂L/∂α via the softmax
+// chain rule and routes θ_k-scaled gradients through each candidate.
+func (m *MixedOp) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	// dL/dθ_k = <gy, y_k>; dL/dα_k = θ_k (dL/dθ_k − Σ_j θ_j dL/dθ_j).
+	dths := make([]float64, len(m.Cands))
+	var mixture float64
+	for k := range m.Cands {
+		dths[k] = tensor.Dot(gy, m.outs[k])
+		mixture += m.ths[k] * dths[k]
+	}
+	for k := range m.Cands {
+		m.Alpha.G.Data[k] += m.ths[k] * (dths[k] - mixture)
+	}
+	var dx *tensor.Tensor
+	for k, cand := range m.Cands {
+		d := cand.Backward(tensor.Scale(gy, m.ths[k]))
+		if dx == nil {
+			dx = d
+		} else {
+			tensor.AddInto(dx, dx, d)
+		}
+	}
+	return dx
+}
+
+// Params implements nn.Layer.
+func (m *MixedOp) Params() []*nn.Param {
+	ps := []*nn.Param{m.Alpha}
+	for _, c := range m.Cands {
+		ps = append(ps, c.Params()...)
+	}
+	return ps
+}
+
+// ExpectedLatency returns Σ_k θ_k · Lat_k for this gate.
+func (m *MixedOp) ExpectedLatency() float64 {
+	th := m.Theta()
+	var s float64
+	for k, l := range m.Lats {
+		s += th[k] * l
+	}
+	return s
+}
+
+// AddLatencyGrad accumulates λ·∂Lat(α)/∂α into the α gradient.
+func (m *MixedOp) AddLatencyGrad(lambda float64) {
+	th := m.Theta()
+	var mean float64
+	for k, l := range m.Lats {
+		mean += th[k] * l
+	}
+	for k, l := range m.Lats {
+		m.Alpha.G.Data[k] += lambda * th[k] * (l - mean)
+	}
+}
+
+// Best returns the argmax candidate index (paper: k* = argmax_k α_l,k).
+func (m *MixedOp) Best() int {
+	best := 0
+	for k := range m.Alpha.W.Data {
+		if m.Alpha.W.Data[k] > m.Alpha.W.Data[best] {
+			best = k
+		}
+	}
+	return best
+}

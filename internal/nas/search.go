@@ -1,0 +1,220 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"pasnet/internal/dataset"
+	"pasnet/internal/hwmodel"
+	"pasnet/internal/models"
+	"pasnet/internal/nn"
+	"pasnet/internal/tensor"
+)
+
+// Options configures a polynomial architecture search run.
+type Options struct {
+	// Backbone is the search baseline ("resnet18", ...).
+	Backbone string
+	// ModelCfg is the backbone configuration (width, input size, seed).
+	ModelCfg models.Config
+	// HW is the hardware model behind the latency LUT.
+	HW hwmodel.Config
+	// Lambda is the latency penalty λ in ζ = ζCE + λ·Lat(α). Latency is
+	// in seconds, so λ has units 1/s.
+	Lambda float64
+	// Steps is the number of search iterations (each = one α update and
+	// one ω update, per Algorithm 1).
+	Steps int
+	// BatchSize is the minibatch size for both splits.
+	BatchSize int
+	// LRWeights/Momentum/WeightDecay drive the SGD weight optimizer.
+	LRWeights, Momentum, WeightDecay float64
+	// LRArch drives the Adam architecture optimizer.
+	LRArch float64
+	// Xi is the virtual learning rate ξ of the unrolled step (defaults
+	// to LRWeights as in the paper).
+	Xi float64
+	// SecondOrder enables the Hessian-vector correction (Algorithm 1
+	// lines 10-14); first-order DARTS otherwise.
+	SecondOrder bool
+	// Seed drives batch shuffling.
+	Seed uint64
+}
+
+// DefaultOptions returns search hyper-parameters that converge on the
+// synthetic CIFAR task in seconds.
+func DefaultOptions(backbone string, lambda float64) Options {
+	return Options{
+		Backbone:    backbone,
+		ModelCfg:    models.CIFARConfig(0.125, 7),
+		HW:          hwmodel.DefaultConfig(),
+		Lambda:      lambda,
+		Steps:       60,
+		BatchSize:   16,
+		LRWeights:   0.02,
+		Momentum:    0.9,
+		WeightDecay: 3e-4,
+		LRArch:      0.05,
+		SecondOrder: true,
+		Seed:        11,
+	}
+}
+
+// Result is the outcome of a search run.
+type Result struct {
+	// Supernet is the trained gated network.
+	Supernet *Supernet
+	// Choices is the derived discrete architecture.
+	Choices Choices
+	// Derived is the rebuilt discrete model (trainable, freshly
+	// initialized with STPAI at poly slots).
+	Derived *models.Model
+	// LatencySec is the modelled PI latency of the derived model.
+	LatencySec float64
+	// ReLUCount is the derived model's ReLU evaluations per inference.
+	ReLUCount int
+	// History records (trainLoss, expectedLatency) per step.
+	History []StepStats
+}
+
+// StepStats is one search step's telemetry.
+type StepStats struct {
+	TrainLoss, ValLoss, ExpectedLatencySec float64
+}
+
+// Search runs Algorithm 1: alternating architecture (α) and weight (ω)
+// updates over disjoint train/validation splits.
+func Search(opts Options, train, val *dataset.Dataset) (*Result, error) {
+	if opts.Steps <= 0 || opts.BatchSize <= 0 {
+		return nil, fmt.Errorf("nas: non-positive steps or batch size")
+	}
+	if opts.Xi == 0 {
+		opts.Xi = opts.LRWeights
+	}
+	sn, err := BuildSupernet(opts.Backbone, opts.ModelCfg, opts.HW)
+	if err != nil {
+		return nil, err
+	}
+	net := sn.Model.Net
+	weights := net.Weights()
+	arch := net.Arch()
+	wOpt := nn.NewSGD(opts.LRWeights, opts.Momentum, opts.WeightDecay)
+	aOpt := nn.NewAdam(opts.LRArch)
+	trnIt := dataset.NewIterator(train, opts.BatchSize, opts.Seed+1)
+	valIt := dataset.NewIterator(val, opts.BatchSize, opts.Seed+2)
+
+	res := &Result{Supernet: sn}
+	for step := 0; step < opts.Steps; step++ {
+		xt, yt := trnIt.Next()
+		xv, yv := valIt.Next()
+
+		valLoss := archStep(sn, opts, xt, yt, xv, yv, weights, arch, aOpt)
+
+		// Weight update (Algorithm 1 lines 16-19).
+		net.ZeroGrad()
+		out := net.Forward(xt, true)
+		trainLoss, grad := nn.SoftmaxCE(out, yt)
+		net.Backward(grad)
+		nn.ClipGradNorm(weights, 5)
+		wOpt.Step(weights)
+
+		res.History = append(res.History, StepStats{
+			TrainLoss:          trainLoss,
+			ValLoss:            valLoss,
+			ExpectedLatencySec: sn.ExpectedLatencySec(),
+		})
+	}
+
+	res.Choices = sn.Derive()
+	derivedCfg := res.Choices.Apply(opts.ModelCfg)
+	derived, err := models.ByName(opts.Backbone, derivedCfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Derived = derived
+	res.LatencySec = derived.Cost(opts.HW).TotalSec
+	res.ReLUCount = derived.ReLUCount()
+	return res, nil
+}
+
+// archStep performs one architecture update (Algorithm 1 lines 3-15):
+// a virtual weight step ω' = ω − ξ·∇ω ζtrn, the validation gradient at ω',
+// and (for second order) the finite-difference Hessian-vector correction
+// δα = δα' − ξ·(δα+ − δα−)/(2ε). Returns the validation loss at ω'.
+func archStep(sn *Supernet, opts Options, xt *tensor.Tensor, yt []int,
+	xv *tensor.Tensor, yv []int, weights, arch []*nn.Param, aOpt *nn.Adam) float64 {
+	net := sn.Model.Net
+
+	// Line 4-5: ∇ω ζtrn(ω, α).
+	net.ZeroGrad()
+	_, grad := forwardLoss(net, xt, yt)
+	net.Backward(grad)
+	dw := nn.GetFlatGrad(weights, nil)
+
+	// Line 6: virtual step ω' = ω − ξ·δω.
+	saved := nn.GetFlat(weights, nil)
+	nn.AxpyFlat(weights, dw, -opts.Xi)
+
+	// Lines 7-9: ∇α ζval(ω', α) and ∇ω' ζval(ω', α). The latency term
+	// λ·Lat(α) is part of ζ and contributes only to the α gradient.
+	net.ZeroGrad()
+	valLoss, vgrad := forwardLoss(net, xv, yv)
+	net.Backward(vgrad)
+	sn.AddLatencyGrads(opts.Lambda)
+	dalpha := nn.GetFlatGrad(arch, nil)
+	dwPrime := nn.GetFlatGrad(weights, nil)
+
+	// Restore ω before any further probing.
+	nn.SetFlat(weights, saved)
+
+	if opts.SecondOrder {
+		// Lines 10-13: ω± = ω ± ε·δω'; Hessian-vector estimate via the
+		// α-gradient difference of ζtrn at ω±. (Lat(α) is ω-independent,
+		// so it cancels in the difference and is omitted here.)
+		norm := 0.0
+		for _, v := range dwPrime {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm > 1e-12 {
+			eps := 0.01 / norm
+			nn.AxpyFlat(weights, dwPrime, eps)
+			net.ZeroGrad()
+			_, g := forwardLoss(net, xt, yt)
+			net.Backward(g)
+			dalphaPlus := nn.GetFlatGrad(arch, nil)
+
+			nn.AxpyFlat(weights, dwPrime, -2*eps)
+			net.ZeroGrad()
+			_, g = forwardLoss(net, xt, yt)
+			net.Backward(g)
+			dalphaMinus := nn.GetFlatGrad(arch, nil)
+
+			nn.SetFlat(weights, saved)
+			// Line 14: δα = δα' − ξ·(δα+ − δα−)/(2ε).
+			for i := range dalpha {
+				dalpha[i] -= opts.Xi * (dalphaPlus[i] - dalphaMinus[i]) / (2 * eps)
+			}
+		}
+	}
+
+	// Line 15: Adam update on α.
+	writeFlatGrads(arch, dalpha)
+	aOpt.Step(arch)
+	return valLoss
+}
+
+// forwardLoss runs a training-mode forward pass and the CE loss.
+func forwardLoss(net *nn.Network, x *tensor.Tensor, y []int) (float64, *tensor.Tensor) {
+	out := net.Forward(x, true)
+	return nn.SoftmaxCE(out, y)
+}
+
+// writeFlatGrads overwrites the gradient accumulators from a flat vector.
+func writeFlatGrads(ps []*nn.Param, flat []float64) {
+	i := 0
+	for _, p := range ps {
+		copy(p.G.Data, flat[i:i+p.G.Len()])
+		i += p.G.Len()
+	}
+}

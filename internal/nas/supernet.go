@@ -1,0 +1,159 @@
+package nas
+
+import (
+	"fmt"
+
+	"pasnet/internal/hwmodel"
+	"pasnet/internal/models"
+	"pasnet/internal/nn"
+)
+
+// Supernet is a backbone with every activation slot replaced by a gated
+// {ReLU, X²act} operator and every pooling slot by a gated
+// {MaxPool, AvgPool} operator (paper Fig. 3, "Constructed SuperNet").
+type Supernet struct {
+	// Backbone names the underlying architecture.
+	Backbone string
+	// Model is the instantiated supernet (trainable).
+	Model *models.Model
+	// Mixed holds the gated ops in slot order.
+	Mixed []*MixedOp
+	// FixedLatencySec is the latency of the non-gated operators (convs,
+	// stem pools, FC, residual adds).
+	FixedLatencySec float64
+	// HW is the hardware model used for the LUT.
+	HW hwmodel.Config
+}
+
+// BuildSupernet constructs the gated network for a backbone. The model
+// configuration's Act/Pool defaults are ignored at slots (gates replace
+// them); everything else (width, input size, seed) applies.
+func BuildSupernet(backbone string, cfg models.Config, hw hwmodel.Config) (*Supernet, error) {
+	lut := hwmodel.NewLUT(hw)
+	sn := &Supernet{Backbone: backbone, HW: hw}
+	cfg.ActFactory = func(s models.Slot, nx int) nn.Layer {
+		cands := []nn.Layer{
+			nn.NewReLU(),
+			nn.NewX2Act(fmt.Sprintf("x2.s%d", s.ID), nx),
+		}
+		kinds := []hwmodel.OpKind{hwmodel.OpReLU, hwmodel.OpX2Act}
+		lats := []float64{
+			lut.Cost(hwmodel.NetOp{Kind: hwmodel.OpReLU, Shape: s.Shape}).TotalSec,
+			lut.Cost(hwmodel.NetOp{Kind: hwmodel.OpX2Act, Shape: s.Shape}).TotalSec,
+		}
+		m := newMixedOp(s, cands, kinds, lats)
+		sn.Mixed = append(sn.Mixed, m)
+		return m
+	}
+	cfg.PoolFactory = func(s models.Slot, k, stride int) nn.Layer {
+		cands := []nn.Layer{
+			nn.NewMaxPool(k, k, stride),
+			nn.NewAvgPool(k, k, stride),
+		}
+		kinds := []hwmodel.OpKind{hwmodel.OpMaxPool, hwmodel.OpAvgPool}
+		lats := []float64{
+			lut.Cost(hwmodel.NetOp{Kind: hwmodel.OpMaxPool, Shape: s.Shape}).TotalSec,
+			lut.Cost(hwmodel.NetOp{Kind: hwmodel.OpAvgPool, Shape: s.Shape}).TotalSec,
+		}
+		m := newMixedOp(s, cands, kinds, lats)
+		sn.Mixed = append(sn.Mixed, m)
+		return m
+	}
+	model, err := models.ByName(backbone, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sn.Model = model
+	// Fixed latency: every op whose index is not a slot's.
+	slotIdx := make(map[int]bool, len(model.Slots))
+	for _, s := range model.Slots {
+		slotIdx[s.OpIdx] = true
+	}
+	for i, op := range model.Ops {
+		if !slotIdx[i] {
+			sn.FixedLatencySec += lut.Cost(op).TotalSec
+		}
+	}
+	return sn, nil
+}
+
+// ExpectedLatencySec returns Lat(α) + fixed latency: the differentiable
+// latency estimate of the current architecture distribution.
+func (s *Supernet) ExpectedLatencySec() float64 {
+	total := s.FixedLatencySec
+	for _, m := range s.Mixed {
+		total += m.ExpectedLatency()
+	}
+	return total
+}
+
+// AddLatencyGrads accumulates λ·∂Lat/∂α across all gates.
+func (s *Supernet) AddLatencyGrads(lambda float64) {
+	for _, m := range s.Mixed {
+		m.AddLatencyGrad(lambda)
+	}
+}
+
+// Choices captures a derived discrete architecture.
+type Choices struct {
+	// Act maps act-slot ID to choice; Pool maps pool-slot ID to choice.
+	Act  map[int]models.ActChoice
+	Pool map[int]models.PoolChoice
+}
+
+// Derive extracts the discrete architecture by α-argmax
+// (paper: OP_l = OP_l,k*, k* = argmax_k α_l,k).
+func (s *Supernet) Derive() Choices {
+	ch := Choices{Act: map[int]models.ActChoice{}, Pool: map[int]models.PoolChoice{}}
+	for _, m := range s.Mixed {
+		best := m.Best()
+		switch m.Slot.Kind {
+		case models.SlotAct:
+			if m.Kinds[best] == hwmodel.OpX2Act {
+				ch.Act[m.Slot.ID] = models.ActX2
+			} else {
+				ch.Act[m.Slot.ID] = models.ActReLU
+			}
+		case models.SlotPool:
+			if m.Kinds[best] == hwmodel.OpAvgPool {
+				ch.Pool[m.Slot.ID] = models.PoolAvg
+			} else {
+				ch.Pool[m.Slot.ID] = models.PoolMax
+			}
+		}
+	}
+	return ch
+}
+
+// Apply returns a model config with the derived choices bound.
+func (ch Choices) Apply(cfg models.Config) models.Config {
+	cfg.ActFactory = nil
+	cfg.PoolFactory = nil
+	cfg.ActAt = func(slot int) models.ActChoice {
+		if c, ok := ch.Act[slot]; ok {
+			return c
+		}
+		return models.ActReLU
+	}
+	cfg.PoolAt = func(slot int) models.PoolChoice {
+		if c, ok := ch.Pool[slot]; ok {
+			return c
+		}
+		return models.PoolMax
+	}
+	return cfg
+}
+
+// PolyFraction reports the fraction of act slots resolved to X²act.
+func (ch Choices) PolyFraction() float64 {
+	if len(ch.Act) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range ch.Act {
+		if c == models.ActX2 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ch.Act))
+}

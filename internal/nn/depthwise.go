@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+
+	"pasnet/internal/rng"
+	"pasnet/internal/tensor"
+)
+
+// DepthwiseConv2D convolves each channel with its own K×K kernel
+// (groups == channels), the building block of MobileNetV2's inverted
+// residuals. Weight shape is C×KH×KW.
+type DepthwiseConv2D struct {
+	// C is the channel count; KH/KW/Stride/Pad the geometry.
+	C, KH, KW, Stride, Pad int
+	Weight                 *Param
+
+	x *tensor.Tensor
+}
+
+// NewDepthwiseConv2D constructs the layer with He-normal initialization.
+func NewDepthwiseConv2D(name string, c, k, stride, pad int, r *rng.RNG) *DepthwiseConv2D {
+	l := &DepthwiseConv2D{C: c, KH: k, KW: k, Stride: stride, Pad: pad,
+		Weight: NewParam(name+".weight", c, k, k)}
+	l.Weight.W.RandNorm(r, math.Sqrt(2/float64(k*k)))
+	return l
+}
+
+func (l *DepthwiseConv2D) outSize(h, w int) (int, int) {
+	oh := (h+2*l.Pad-l.KH)/l.Stride + 1
+	ow := (w+2*l.Pad-l.KW)/l.Stride + 1
+	return oh, ow
+}
+
+// Forward implements Layer.
+func (l *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		l.x = x
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := l.outSize(h, w)
+	y := tensor.New(n, c, oh, ow)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			xbase := (b*c + ch) * h * w
+			kbase := ch * l.KH * l.KW
+			obase := (b*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := 0.0
+					for ky := 0; ky < l.KH; ky++ {
+						iy := oy*l.Stride + ky - l.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < l.KW; kx++ {
+							ix := ox*l.Stride + kx - l.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += x.Data[xbase+iy*w+ix] * l.Weight.W.Data[kbase+ky*l.KW+kx]
+						}
+					}
+					y.Data[obase+oy*ow+ox] = sum
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *DepthwiseConv2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	x := l.x
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := l.outSize(h, w)
+	dx := tensor.New(x.Shape...)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			xbase := (b*c + ch) * h * w
+			kbase := ch * l.KH * l.KW
+			obase := (b*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := gy.Data[obase+oy*ow+ox]
+					if g == 0 {
+						continue
+					}
+					for ky := 0; ky < l.KH; ky++ {
+						iy := oy*l.Stride + ky - l.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < l.KW; kx++ {
+							ix := ox*l.Stride + kx - l.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							l.Weight.G.Data[kbase+ky*l.KW+kx] += g * x.Data[xbase+iy*w+ix]
+							dx.Data[xbase+iy*w+ix] += g * l.Weight.W.Data[kbase+ky*l.KW+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *DepthwiseConv2D) Params() []*Param { return []*Param{l.Weight} }

@@ -1,0 +1,147 @@
+// Package nn is a from-scratch CNN training library: the substrate PASNet's
+// differentiable architecture search (paper Algorithm 1) runs on. It
+// provides layer-graph forward/backward propagation, the trainable X²act
+// polynomial activation with straight-through polynomial activation
+// initialization (STPAI, paper Sec. III-A), batch normalization with
+// inference-time folding, and SGD/Adam optimizers with the flat
+// parameter-vector access the second-order DARTS updates require.
+package nn
+
+import (
+	"fmt"
+
+	"pasnet/internal/tensor"
+)
+
+// Param is a trainable tensor with its gradient accumulator.
+type Param struct {
+	// Name identifies the parameter for debugging and serialization.
+	Name string
+	// W is the value; G is the accumulated gradient (same shape).
+	W, G *tensor.Tensor
+	// Arch marks architecture parameters (the NAS α), which are updated
+	// by the architecture optimizer rather than the weight optimizer.
+	Arch bool
+}
+
+// NewParam allocates a parameter and its gradient.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{Name: name, W: tensor.New(shape...), G: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// Layer is a differentiable network module. Forward caches whatever
+// Backward needs; Backward consumes the output gradient, accumulates
+// parameter gradients, and returns the input gradient. Layers are used
+// strictly in forward-then-backward order within one pass.
+type Layer interface {
+	// Forward computes the layer output. train selects training behaviour
+	// (batch statistics, caching) versus inference.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates the output gradient, returning dL/dx.
+	Backward(gy *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// ParamsOf collects the parameters of a layer list.
+func ParamsOf(layers []Layer) []*Param {
+	var ps []*Param
+	for _, l := range layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// WeightParams filters out architecture parameters.
+func WeightParams(ps []*Param) []*Param {
+	var out []*Param
+	for _, p := range ps {
+		if !p.Arch {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ArchParams keeps only architecture parameters.
+func ArchParams(ps []*Param) []*Param {
+	var out []*Param
+	for _, p := range ps {
+		if p.Arch {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FlatLen returns the total element count across parameters.
+func FlatLen(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.W.Len()
+	}
+	return n
+}
+
+// GetFlat copies all parameter values into one vector (allocated if dst is
+// nil), in parameter order. Used by the DARTS virtual weight steps.
+func GetFlat(ps []*Param, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, FlatLen(ps))
+	}
+	i := 0
+	for _, p := range ps {
+		copy(dst[i:], p.W.Data)
+		i += p.W.Len()
+	}
+	return dst
+}
+
+// SetFlat writes a flat vector back into the parameters.
+func SetFlat(ps []*Param, src []float64) {
+	i := 0
+	for _, p := range ps {
+		copy(p.W.Data, src[i:i+p.W.Len()])
+		i += p.W.Len()
+	}
+	if i != len(src) {
+		panic(fmt.Sprintf("nn: SetFlat length %d != params %d", len(src), i))
+	}
+}
+
+// GetFlatGrad copies all gradients into one vector.
+func GetFlatGrad(ps []*Param, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, FlatLen(ps))
+	}
+	i := 0
+	for _, p := range ps {
+		copy(dst[i:], p.G.Data)
+		i += p.G.Len()
+	}
+	return dst
+}
+
+// AxpyFlat performs W += s·v across the parameter list (virtual steps).
+func AxpyFlat(ps []*Param, v []float64, s float64) {
+	i := 0
+	for _, p := range ps {
+		for j := range p.W.Data {
+			p.W.Data[j] += s * v[i]
+			i++
+		}
+	}
+	if i != len(v) {
+		panic(fmt.Sprintf("nn: AxpyFlat length %d != params %d", len(v), i))
+	}
+}
+
+// ZeroGrads clears every gradient in the list.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+}

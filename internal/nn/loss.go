@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math"
+
+	"pasnet/internal/tensor"
+)
+
+// SoftmaxCE computes the mean softmax cross-entropy loss over a batch of
+// logits (N×K) with integer class labels, returning the loss and the
+// gradient with respect to the logits.
+func SoftmaxCE(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic("nn: label count does not match batch")
+	}
+	grad := tensor.New(n, k)
+	loss := 0.0
+	for b := 0; b < n; b++ {
+		row := logits.Data[b*k : (b+1)*k]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - maxv)
+		}
+		logSum := math.Log(sum) + maxv
+		y := labels[b]
+		loss += logSum - row[y]
+		gb := grad.Data[b*k : (b+1)*k]
+		for j, v := range row {
+			p := math.Exp(v - logSum)
+			gb[j] = p / float64(n)
+		}
+		gb[y] -= 1 / float64(n)
+	}
+	return loss / float64(n), grad
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n, k := logits.Shape[0], logits.Shape[1]
+	correct := 0
+	for b := 0; b < n; b++ {
+		row := logits.Data[b*k : (b+1)*k]
+		best := 0
+		for j := 1; j < k; j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		if best == labels[b] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// TopK returns the fraction of rows whose label is within the top-k
+// logits (the paper reports top-1 and top-5).
+func TopK(logits *tensor.Tensor, labels []int, k int) float64 {
+	n, classes := logits.Shape[0], logits.Shape[1]
+	if k > classes {
+		k = classes
+	}
+	correct := 0
+	for b := 0; b < n; b++ {
+		row := logits.Data[b*classes : (b+1)*classes]
+		target := row[labels[b]]
+		higher := 0
+		for _, v := range row {
+			if v > target {
+				higher++
+			}
+		}
+		if higher < k {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

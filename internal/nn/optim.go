@@ -1,0 +1,99 @@
+package nn
+
+import "math"
+
+// SGD is stochastic gradient descent with momentum and weight decay, the
+// paper's weight-parameter optimizer (Algorithm 1, line 19).
+type SGD struct {
+	// LR is the learning rate; Momentum the velocity decay; WeightDecay
+	// the L2 coefficient applied to non-arch parameters.
+	LR, Momentum, WeightDecay float64
+
+	velocity map[*Param][]float64
+}
+
+// NewSGD constructs the optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*Param][]float64)}
+}
+
+// Step applies one update to the given parameters from their accumulated
+// gradients (gradients are not cleared).
+func (o *SGD) Step(ps []*Param) {
+	for _, p := range ps {
+		v, ok := o.velocity[p]
+		if !ok {
+			v = make([]float64, p.W.Len())
+			o.velocity[p] = v
+		}
+		for i := range p.W.Data {
+			g := p.G.Data[i] + o.WeightDecay*p.W.Data[i]
+			v[i] = o.Momentum*v[i] - o.LR*g
+			p.W.Data[i] += v[i]
+		}
+	}
+}
+
+// Adam is the adaptive-moment optimizer used for the architecture
+// parameters α (Algorithm 1, line 15).
+type Adam struct {
+	// LR, Beta1, Beta2, Eps are the standard Adam hyper-parameters.
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam constructs the optimizer with the usual defaults for unset
+// moments (0.9/0.999/1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64)}
+}
+
+// Step applies one Adam update.
+func (o *Adam) Step(ps []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range ps {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float64, p.W.Len())
+			o.m[p] = m
+			o.v[p] = make([]float64, p.W.Len())
+		}
+		v := o.v[p]
+		for i := range p.W.Data {
+			g := p.G.Data[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			p.W.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		}
+	}
+}
+
+// ClipGradNorm rescales gradients so their global L2 norm is at most max.
+// Returns the pre-clip norm.
+func ClipGradNorm(ps []*Param, max float64) float64 {
+	var s float64
+	for _, p := range ps {
+		for _, g := range p.G.Data {
+			s += g * g
+		}
+	}
+	norm := math.Sqrt(s)
+	if norm > max && norm > 0 {
+		scale := max / norm
+		for _, p := range ps {
+			for i := range p.G.Data {
+				p.G.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,102 @@
+package ot
+
+import (
+	"fmt"
+
+	"pasnet/internal/rng"
+	"pasnet/internal/transport"
+)
+
+// NumChoices is the arity of the OT: the receiver selects one of four
+// messages, matching the paper's 2-bit chunk decomposition (L = 4).
+const NumChoices = 4
+
+// Sender runs the sender role of a batch of (1,4)-OTs. tables[j][i] is the
+// i-th message (a byte) of OT instance j. The sender learns nothing about
+// the receiver's choices; the receiver learns exactly one entry per table.
+//
+// Message flow (see package comment): sends S = g^a, receives the R-list,
+// sends the encrypted tables.
+func Sender(conn transport.Conn, r *rng.RNG, tables [][NumChoices]byte) error {
+	a := r.Uint64()%(P-2) + 1
+	bigA := PowMod(G, a)
+	// Step 1: publish the mask element S (paper's g^rds0 mod m).
+	if err := conn.SendUint64s([]uint64{bigA}); err != nil {
+		return fmt.Errorf("ot: send mask: %w", err)
+	}
+	// Step 2: receive the R-list, one group element per OT instance.
+	rlist, err := conn.RecvUint64s()
+	if err != nil {
+		return fmt.Errorf("ot: recv R-list: %w", err)
+	}
+	if len(rlist) != len(tables) {
+		return fmt.Errorf("ot: R-list length %d, want %d", len(rlist), len(tables))
+	}
+	// key_{j,i} = (B_j * A^{-i})^a = B_j^a * (A^a)^{-i}: one exponentiation
+	// per instance plus cheap multiplications.
+	bigAa := PowMod(bigA, a)
+	invAa := InvMod(bigAa)
+	enc := make([]byte, len(tables)*NumChoices)
+	for j, bj := range rlist {
+		base := PowMod(bj%P, a)
+		key := base
+		for i := 0; i < NumChoices; i++ {
+			pad := byte(Mix(key, uint64(j)*NumChoices+uint64(i)))
+			enc[j*NumChoices+i] = tables[j][i] ^ pad
+			key = MulMod(key, invAa)
+		}
+	}
+	// Step 3: send the encrypted table Enc(M0).
+	if err := conn.SendBytes(enc); err != nil {
+		return fmt.Errorf("ot: send tables: %w", err)
+	}
+	return nil
+}
+
+// Receiver runs the receiver role: choices[j] in [0,4) selects which entry
+// of table j to learn. Returns the chosen plaintext bytes.
+func Receiver(conn transport.Conn, r *rng.RNG, choices []byte) ([]byte, error) {
+	// Step 1: receive the mask element.
+	masks, err := conn.RecvUint64s()
+	if err != nil {
+		return nil, fmt.Errorf("ot: recv mask: %w", err)
+	}
+	if len(masks) != 1 {
+		return nil, fmt.Errorf("ot: mask frame length %d, want 1", len(masks))
+	}
+	bigA := masks[0] % P
+	// Step 2: build and send the R-list. B_j = g^{k_j} * A^{c_j}.
+	ks := make([]uint64, len(choices))
+	rlist := make([]uint64, len(choices))
+	for j, c := range choices {
+		if c >= NumChoices {
+			return nil, fmt.Errorf("ot: choice %d out of range at %d", c, j)
+		}
+		k := r.Uint64()%(P-2) + 1
+		ks[j] = k
+		b := PowMod(G, k)
+		for i := byte(0); i < c; i++ {
+			b = MulMod(b, bigA)
+		}
+		rlist[j] = b
+	}
+	if err := conn.SendUint64s(rlist); err != nil {
+		return nil, fmt.Errorf("ot: send R-list: %w", err)
+	}
+	// Step 3: receive encrypted tables and decrypt the chosen entries with
+	// key_j = A^{k_j}.
+	enc, err := conn.RecvBytes()
+	if err != nil {
+		return nil, fmt.Errorf("ot: recv tables: %w", err)
+	}
+	if len(enc) != len(choices)*NumChoices {
+		return nil, fmt.Errorf("ot: table frame length %d, want %d", len(enc), len(choices)*NumChoices)
+	}
+	out := make([]byte, len(choices))
+	for j, c := range choices {
+		key := PowMod(bigA, ks[j])
+		pad := byte(Mix(key, uint64(j)*NumChoices+uint64(c)))
+		out[j] = enc[j*NumChoices+int(c)] ^ pad
+	}
+	return out, nil
+}

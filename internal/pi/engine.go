@@ -1,0 +1,168 @@
+package pi
+
+import (
+	"fmt"
+
+	"pasnet/internal/mpc"
+)
+
+// Engine executes a compiled program on one party's endpoint. Weight
+// shares are established once by Setup and reused across inferences, as
+// in a deployed two-server system.
+type Engine struct {
+	// Prog is the compiled program.
+	Prog *Program
+	// party is bound at Setup.
+	party *mpc.Party
+	// weights holds this party's shares of the secret tensors, indexed
+	// in program order (depth-first through residual branches).
+	weights []mpc.Share
+}
+
+// NewEngine wraps a program.
+func NewEngine(prog *Program) *Engine { return &Engine{Prog: prog} }
+
+// Setup secret-shares the model parameters from party 0 (the model
+// vendor). Both parties must call it before Infer.
+func (e *Engine) Setup(p *mpc.Party) error {
+	e.party = p
+	e.weights = e.weights[:0]
+	return e.setupProg(p, e.Prog)
+}
+
+func (e *Engine) setupProg(p *mpc.Party, prog *Program) error {
+	for i := range prog.Ops {
+		op := &prog.Ops[i]
+		switch op.kind {
+		case opConv, opDWConv, opLinear:
+			var enc []uint64
+			if p.ID == 0 {
+				enc = p.EncodeTensor(op.weights)
+			}
+			sh, err := p.ShareInput(0, enc, op.weightShape...)
+			if err != nil {
+				return fmt.Errorf("pi: setup %s: %w", op.name, err)
+			}
+			e.weights = append(e.weights, sh)
+		case opResidual:
+			if err := e.setupProg(p, op.body); err != nil {
+				return err
+			}
+			if op.shortcut != nil {
+				if err := e.setupProg(p, op.shortcut); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Infer runs the program on an input share and returns the output share.
+func (e *Engine) Infer(x mpc.Share) (mpc.Share, error) {
+	if e.party == nil {
+		return mpc.Share{}, fmt.Errorf("pi: engine not set up")
+	}
+	widx := 0
+	return e.run(e.Prog, x, &widx)
+}
+
+func (e *Engine) run(prog *Program, x mpc.Share, widx *int) (mpc.Share, error) {
+	p := e.party
+	var err error
+	for i := range prog.Ops {
+		op := &prog.Ops[i]
+		switch op.kind {
+		case opConv, opDWConv:
+			if len(x.Shape) != 4 {
+				return mpc.Share{}, fmt.Errorf("pi: %s expects NCHW input, got %v", op.name, x.Shape)
+			}
+			dims := mpc.ConvDims{
+				N: x.Shape[0], InC: x.Shape[1], H: x.Shape[2], W: x.Shape[3],
+				OutC: op.convSpec.OutC, KH: op.convSpec.KH, KW: op.convSpec.KW,
+				Stride: op.convSpec.Stride, Pad: op.convSpec.Pad,
+			}
+			if op.kind == opDWConv {
+				dims.Groups = dims.InC
+				dims.OutC = dims.InC
+			}
+			w := e.weights[*widx]
+			*widx++
+			x, err = p.Conv2D(x, w, dims)
+			if err != nil {
+				return mpc.Share{}, fmt.Errorf("pi: %s: %w", op.name, err)
+			}
+			if op.bias != nil {
+				x, err = p.AddBias(x, op.bias)
+				if err != nil {
+					return mpc.Share{}, fmt.Errorf("pi: %s bias: %w", op.name, err)
+				}
+			}
+		case opLinear:
+			w := e.weights[*widx]
+			*widx++
+			// y = x Wᵀ: share the transpose view by materializing it.
+			out, in := op.weightShape[0], op.weightShape[1]
+			wt := mpc.NewShare(in, out)
+			for r := 0; r < out; r++ {
+				for c := 0; c < in; c++ {
+					wt.V[c*out+r] = w.V[r*in+c]
+				}
+			}
+			x, err = p.MatMul(x, wt)
+			if err != nil {
+				return mpc.Share{}, fmt.Errorf("pi: %s: %w", op.name, err)
+			}
+			x, err = p.AddBiasVec(x, op.bias)
+			if err != nil {
+				return mpc.Share{}, fmt.Errorf("pi: %s bias: %w", op.name, err)
+			}
+		case opReLU:
+			x, err = p.ReLU(x)
+			if err != nil {
+				return mpc.Share{}, fmt.Errorf("pi: relu: %w", err)
+			}
+		case opX2Act:
+			x, err = p.X2Act(x, op.x2)
+			if err != nil {
+				return mpc.Share{}, fmt.Errorf("pi: x2act: %w", err)
+			}
+		case opMaxPool:
+			x, err = p.MaxPool2D(x, op.k, op.k, op.stride)
+			if err != nil {
+				return mpc.Share{}, fmt.Errorf("pi: maxpool: %w", err)
+			}
+		case opAvgPool:
+			x, err = p.AvgPool2D(x, op.k, op.k, op.stride)
+			if err != nil {
+				return mpc.Share{}, fmt.Errorf("pi: avgpool: %w", err)
+			}
+		case opGlobalAvgPool:
+			x, err = p.GlobalAvgPool2D(x)
+			if err != nil {
+				return mpc.Share{}, fmt.Errorf("pi: gap: %w", err)
+			}
+			x = x.Reshape(x.Shape[0], x.Shape[1])
+		case opFlatten:
+			n := x.Shape[0]
+			x = x.Reshape(n, x.Len()/n)
+		case opResidual:
+			saved := x
+			body, err := e.run(op.body, saved, widx)
+			if err != nil {
+				return mpc.Share{}, err
+			}
+			short := saved
+			if op.shortcut != nil {
+				short, err = e.run(op.shortcut, saved, widx)
+				if err != nil {
+					return mpc.Share{}, err
+				}
+			}
+			x = p.Add(body, short)
+		default:
+			return mpc.Share{}, fmt.Errorf("pi: unknown op kind %d", op.kind)
+		}
+	}
+	return x, nil
+}

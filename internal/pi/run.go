@@ -1,0 +1,167 @@
+package pi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"pasnet/internal/fixed"
+	"pasnet/internal/hwmodel"
+	"pasnet/internal/models"
+	"pasnet/internal/mpc"
+	"pasnet/internal/tensor"
+	"pasnet/internal/transport"
+)
+
+// Result reports one private inference run.
+type Result struct {
+	// Output is the reconstructed logits.
+	Output []float64
+	// Plain is the plaintext reference evaluation.
+	Plain []float64
+	// MaxAbsErr is the largest |Output−Plain| element.
+	MaxAbsErr float64
+	// OnlineBytes is the measured traffic of the inference phase (both
+	// parties, excluding model-share setup).
+	OnlineBytes int64
+	// SetupBytes is the measured one-time model-sharing traffic.
+	SetupBytes int64
+	// Modeled is the FPGA hardware model's cost for the network at paper
+	// scale (from models.Model.Ops), the basis of the Table I columns.
+	Modeled hwmodel.Cost
+}
+
+// Run executes a full private inference of a trained model on input x
+// (N×C×H×W, party 1's query), with both parties in-process over an
+// in-memory transport. It verifies against plaintext evaluation.
+func Run(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, seed uint64) (*Result, error) {
+	if m.Net == nil {
+		return nil, fmt.Errorf("pi: model %q has no trained network", m.Name)
+	}
+	prog, err := Compile(m.Net)
+	if err != nil {
+		return nil, err
+	}
+	plain := m.Net.Forward(x, false)
+
+	c0, c1 := transport.Pipe()
+	codec := fixed.Default64()
+	parties := [2]*mpc.Party{
+		mpc.NewParty(0, c0, seed, seed*31+1, codec),
+		mpc.NewParty(1, c1, seed, seed*31+2, codec),
+	}
+	var setupBytes, totalBytes int64
+	outputs := [2][]float64{}
+	errs := [2]error{}
+	var setupMu sync.Mutex
+	setupDone := make([]chan struct{}, 2)
+	for i := range setupDone {
+		setupDone[i] = make(chan struct{})
+	}
+
+	var wg sync.WaitGroup
+	for i, p := range parties {
+		wg.Add(1)
+		go func(i int, p *mpc.Party) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("pi: party %d panicked: %v", i, r)
+				}
+			}()
+			eng := NewEngine(prog)
+			if err := eng.Setup(p); err != nil {
+				errs[i] = err
+				close(setupDone[i])
+				return
+			}
+			setupMu.Lock()
+			setupBytes += p.Conn.Stats().BytesSent
+			setupMu.Unlock()
+			close(setupDone[i])
+
+			var enc []uint64
+			if p.ID == 1 {
+				enc = p.EncodeTensor(x.Data)
+			}
+			xs, err := p.ShareInput(1, enc, x.Shape...)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out, err := eng.Infer(xs)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			vals, err := p.Reveal(out)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outputs[i] = p.DecodeTensor(vals)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	totalBytes = c0.Stats().BytesSent + c1.Stats().BytesSent
+
+	res := &Result{
+		Output:      outputs[0],
+		Plain:       append([]float64(nil), plain.Data...),
+		SetupBytes:  setupBytes,
+		OnlineBytes: totalBytes - setupBytes,
+		Modeled:     hwmodel.NetworkCost(hw, m.Ops),
+	}
+	for i := range res.Output {
+		if d := math.Abs(res.Output[i] - res.Plain[i]); d > res.MaxAbsErr {
+			res.MaxAbsErr = d
+		}
+	}
+	// Both parties must reconstruct identical outputs.
+	for i := range outputs[0] {
+		if outputs[0][i] != outputs[1][i] {
+			return nil, fmt.Errorf("pi: parties reconstructed different outputs at %d", i)
+		}
+	}
+	return res, nil
+}
+
+// RunParty executes one side of a private inference over an established
+// transport (the cmd/pasnet-server two-process deployment). Party 1
+// supplies the query x; party 0 passes nil and owns the model weights.
+func RunParty(p *mpc.Party, m *models.Model, x *tensor.Tensor, inputShape []int) ([]float64, error) {
+	prog, err := Compile(m.Net)
+	if err != nil {
+		return nil, err
+	}
+	eng := NewEngine(prog)
+	if err := eng.Setup(p); err != nil {
+		return nil, err
+	}
+	var enc []uint64
+	if p.ID == 1 {
+		if x == nil {
+			return nil, fmt.Errorf("pi: party 1 must supply the query")
+		}
+		enc = p.EncodeTensor(x.Data)
+		inputShape = x.Shape
+	}
+	xs, err := p.ShareInput(1, enc, inputShape...)
+	if err != nil {
+		return nil, err
+	}
+	out, err := eng.Infer(xs)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := p.Reveal(out)
+	if err != nil {
+		return nil, err
+	}
+	return p.DecodeTensor(vals), nil
+}

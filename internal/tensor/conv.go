@@ -1,0 +1,253 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConvSpec describes a 2-D convolution (or pooling window) geometry.
+type ConvSpec struct {
+	// InC and OutC are the input and output channel counts.
+	InC, OutC int
+	// KH and KW are the kernel height and width.
+	KH, KW int
+	// Stride is applied to both spatial dimensions.
+	Stride int
+	// Pad is symmetric zero padding on both spatial dimensions.
+	Pad int
+}
+
+// OutSize returns the output spatial size for an input of size h×w.
+func (s ConvSpec) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*s.Pad-s.KH)/s.Stride + 1
+	ow = (w+2*s.Pad-s.KW)/s.Stride + 1
+	return oh, ow
+}
+
+// Im2Col lowers an NCHW input into the column matrix used by GEMM-based
+// convolution. The result has shape (N*OH*OW) × (InC*KH*KW): each row is
+// the flattened receptive field of one output position.
+func Im2Col(x *Tensor, s ConvSpec) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if c != s.InC {
+		panic(fmt.Sprintf("tensor: im2col channels %d != spec %d", c, s.InC))
+	}
+	oh, ow := s.OutSize(h, w)
+	cols := New(n*oh*ow, c*s.KH*s.KW)
+	row := 0
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := cols.Data[row*cols.Shape[1] : (row+1)*cols.Shape[1]]
+				di := 0
+				for ch := 0; ch < c; ch++ {
+					base := (b*c + ch) * h * w
+					for ky := 0; ky < s.KH; ky++ {
+						iy := oy*s.Stride + ky - s.Pad
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ox*s.Stride + kx - s.Pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								dst[di] = x.Data[base+iy*w+ix]
+							} else {
+								dst[di] = 0
+							}
+							di++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im scatters a column matrix back into an NCHW gradient, accumulating
+// overlapping receptive fields. It is the adjoint of Im2Col.
+func Col2Im(cols *Tensor, s ConvSpec, n, h, w int) *Tensor {
+	c := s.InC
+	oh, ow := s.OutSize(h, w)
+	x := New(n, c, h, w)
+	row := 0
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := cols.Data[row*cols.Shape[1] : (row+1)*cols.Shape[1]]
+				si := 0
+				for ch := 0; ch < c; ch++ {
+					base := (b*c + ch) * h * w
+					for ky := 0; ky < s.KH; ky++ {
+						iy := oy*s.Stride + ky - s.Pad
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ox*s.Stride + kx - s.Pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								x.Data[base+iy*w+ix] += src[si]
+							}
+							si++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return x
+}
+
+// Conv2D computes a 2-D convolution of x (N×InC×H×W) with kernel
+// k (OutC×InC×KH×KW), returning N×OutC×OH×OW.
+func Conv2D(x, k *Tensor, s ConvSpec) *Tensor {
+	n, _, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if k.Shape[0] != s.OutC || k.Shape[1] != s.InC || k.Shape[2] != s.KH || k.Shape[3] != s.KW {
+		panic(fmt.Sprintf("tensor: kernel shape %v does not match spec %+v", k.Shape, s))
+	}
+	oh, ow := s.OutSize(h, w)
+	cols := Im2Col(x, s)                       // (N*OH*OW) × (InC*KH*KW)
+	kmat := k.Reshape(s.OutC, s.InC*s.KH*s.KW) // OutC × (InC*KH*KW)
+	prod := MatMulTransB(cols, kmat)           // (N*OH*OW) × OutC
+	out := New(n, s.OutC, oh, ow)
+	// Transpose (N*OH*OW)×OutC into NCHW.
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := (b*oh+oy)*ow + ox
+				for oc := 0; oc < s.OutC; oc++ {
+					out.Data[((b*s.OutC+oc)*oh+oy)*ow+ox] = prod.Data[row*s.OutC+oc]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DGrads computes the input and kernel gradients of Conv2D given the
+// output gradient gy (N×OutC×OH×OW). It returns (dx, dk).
+func Conv2DGrads(x, k, gy *Tensor, s ConvSpec) (dx, dk *Tensor) {
+	n, _, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := s.OutSize(h, w)
+	// Re-layout gy into (N*OH*OW) × OutC.
+	gmat := New(n*oh*ow, s.OutC)
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < s.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := (b*oh+oy)*ow + ox
+					gmat.Data[row*s.OutC+oc] = gy.Data[((b*s.OutC+oc)*oh+oy)*ow+ox]
+				}
+			}
+		}
+	}
+	cols := Im2Col(x, s) // (N*OH*OW) × (InC*KH*KW)
+	// dk = gmat^T @ cols  → OutC × (InC*KH*KW)
+	dkMat := MatMulTransA(gmat, cols)
+	dk = dkMat.Reshape(s.OutC, s.InC, s.KH, s.KW)
+	// dcols = gmat @ kmat → (N*OH*OW) × (InC*KH*KW)
+	kmat := k.Reshape(s.OutC, s.InC*s.KH*s.KW)
+	dcols := MatMul(gmat, kmat)
+	dx = Col2Im(dcols, s, n, h, w)
+	return dx, dk
+}
+
+// MaxPool2D computes max pooling and returns the output along with the
+// argmax index (flat, into x.Data) per output element for backprop.
+func MaxPool2D(x *Tensor, kh, kw, stride int) (*Tensor, []int) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-kh)/stride + 1
+	ow := (w-kw)/stride + 1
+	out := New(n, c, oh, ow)
+	arg := make([]int, out.Len())
+	oi := 0
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx
+							idx := base + iy*w + ix
+							if v := x.Data[idx]; v > best {
+								best = v
+								bestIdx = idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					arg[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2DGrad scatters the output gradient back through the argmax map.
+func MaxPool2DGrad(gy *Tensor, arg []int, xShape []int) *Tensor {
+	dx := New(xShape...)
+	for i, idx := range arg {
+		dx.Data[idx] += gy.Data[i]
+	}
+	return dx
+}
+
+// AvgPool2D computes average pooling over kh×kw windows with the given
+// stride.
+func AvgPool2D(x *Tensor, kh, kw, stride int) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-kh)/stride + 1
+	ow := (w-kw)/stride + 1
+	out := New(n, c, oh, ow)
+	inv := 1.0 / float64(kh*kw)
+	oi := 0
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := 0.0
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky
+						for kx := 0; kx < kw; kx++ {
+							s += x.Data[base+iy*w+ox*stride+kx]
+						}
+					}
+					out.Data[oi] = s * inv
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2DGrad spreads the output gradient uniformly over each window.
+func AvgPool2DGrad(gy *Tensor, kh, kw, stride int, xShape []int) *Tensor {
+	dx := New(xShape...)
+	n, c, h, w := xShape[0], xShape[1], xShape[2], xShape[3]
+	oh := (h-kh)/stride + 1
+	ow := (w-kw)/stride + 1
+	inv := 1.0 / float64(kh*kw)
+	oi := 0
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := gy.Data[oi] * inv
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky
+						for kx := 0; kx < kw; kx++ {
+							dx.Data[base+iy*w+ox*stride+kx] += g
+						}
+					}
+					oi++
+				}
+			}
+		}
+	}
+	return dx
+}

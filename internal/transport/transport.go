@@ -1,0 +1,308 @@
+// Package transport provides the two-party message channel used by the 2PC
+// protocols: an in-memory duplex pipe for single-process simulation and
+// tests, and a TCP transport for genuine two-process deployment
+// (cmd/pasnet-server). Both count bytes and message rounds so the private
+// inference engine can report real communication volume.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+)
+
+// Conn is a reliable, ordered, message-framed duplex channel between the
+// two computing parties.
+type Conn interface {
+	// SendUints transmits a framed slice of ring elements.
+	SendUints(xs []uint32) error
+	// RecvUints receives the next framed slice of ring elements.
+	RecvUints() ([]uint32, error)
+	// SendUint64s transmits a framed slice of 64-bit values (group elements).
+	SendUint64s(xs []uint64) error
+	// RecvUint64s receives the next framed slice of 64-bit values.
+	RecvUint64s() ([]uint64, error)
+	// SendBytes transmits a framed byte slice.
+	SendBytes(b []byte) error
+	// RecvBytes receives the next framed byte slice.
+	RecvBytes() ([]byte, error)
+	// Stats returns cumulative traffic counters for this endpoint.
+	Stats() Stats
+	// Close releases the underlying resources.
+	Close() error
+}
+
+// Stats records the traffic sent from one endpoint.
+type Stats struct {
+	// BytesSent is the total payload bytes transmitted.
+	BytesSent int64
+	// MessagesSent is the number of framed messages transmitted.
+	MessagesSent int64
+}
+
+// counter accumulates stats with atomic updates so a transport can be
+// inspected while protocol goroutines run.
+type counter struct {
+	bytes int64
+	msgs  int64
+}
+
+func (c *counter) add(n int) {
+	atomic.AddInt64(&c.bytes, int64(n))
+	atomic.AddInt64(&c.msgs, 1)
+}
+
+func (c *counter) stats() Stats {
+	return Stats{BytesSent: atomic.LoadInt64(&c.bytes), MessagesSent: atomic.LoadInt64(&c.msgs)}
+}
+
+// message is the unit carried by the in-memory pipe.
+type message struct {
+	kind byte // 'u' uint32s, 'U' uint64s, 'b' bytes
+	u32  []uint32
+	u64  []uint64
+	raw  []byte
+}
+
+// MemConn is one endpoint of an in-memory duplex pipe.
+type MemConn struct {
+	send chan<- message
+	recv <-chan message
+	c    counter
+}
+
+// Pipe returns the two connected endpoints of an in-memory transport.
+// Buffering is generous enough that the symmetric send-then-receive
+// pattern used by the protocols cannot deadlock.
+func Pipe() (*MemConn, *MemConn) {
+	ab := make(chan message, 1024)
+	ba := make(chan message, 1024)
+	a := &MemConn{send: ab, recv: ba}
+	b := &MemConn{send: ba, recv: ab}
+	return a, b
+}
+
+// SendUints implements Conn. The slice is copied so callers may reuse it.
+func (m *MemConn) SendUints(xs []uint32) error {
+	cp := make([]uint32, len(xs))
+	copy(cp, xs)
+	m.c.add(4 * len(xs))
+	m.send <- message{kind: 'u', u32: cp}
+	return nil
+}
+
+// RecvUints implements Conn.
+func (m *MemConn) RecvUints() ([]uint32, error) {
+	msg, ok := <-m.recv
+	if !ok {
+		return nil, io.EOF
+	}
+	if msg.kind != 'u' {
+		return nil, fmt.Errorf("transport: expected uint32 frame, got %q", msg.kind)
+	}
+	return msg.u32, nil
+}
+
+// SendUint64s implements Conn.
+func (m *MemConn) SendUint64s(xs []uint64) error {
+	cp := make([]uint64, len(xs))
+	copy(cp, xs)
+	m.c.add(8 * len(xs))
+	m.send <- message{kind: 'U', u64: cp}
+	return nil
+}
+
+// RecvUint64s implements Conn.
+func (m *MemConn) RecvUint64s() ([]uint64, error) {
+	msg, ok := <-m.recv
+	if !ok {
+		return nil, io.EOF
+	}
+	if msg.kind != 'U' {
+		return nil, fmt.Errorf("transport: expected uint64 frame, got %q", msg.kind)
+	}
+	return msg.u64, nil
+}
+
+// SendBytes implements Conn.
+func (m *MemConn) SendBytes(b []byte) error {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	m.c.add(len(b))
+	m.send <- message{kind: 'b', raw: cp}
+	return nil
+}
+
+// RecvBytes implements Conn.
+func (m *MemConn) RecvBytes() ([]byte, error) {
+	msg, ok := <-m.recv
+	if !ok {
+		return nil, io.EOF
+	}
+	if msg.kind != 'b' {
+		return nil, fmt.Errorf("transport: expected byte frame, got %q", msg.kind)
+	}
+	return msg.raw, nil
+}
+
+// Stats implements Conn.
+func (m *MemConn) Stats() Stats { return m.c.stats() }
+
+// Close implements Conn. Closing the send direction unblocks the peer.
+func (m *MemConn) Close() error {
+	defer func() { recover() }() // tolerate double close
+	close(m.send)
+	return nil
+}
+
+// TCPConn frames messages over a net.Conn with a 5-byte header
+// (kind + little-endian payload length). Sends run inline; the protocol
+// layer's exchange helper is responsible for avoiding rendezvous deadlock.
+type TCPConn struct {
+	nc  net.Conn
+	c   counter
+	buf [5]byte
+}
+
+// NewTCPConn wraps an established network connection.
+func NewTCPConn(nc net.Conn) *TCPConn { return &TCPConn{nc: nc} }
+
+// Dial connects to a listening peer.
+func Dial(addr string) (*TCPConn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(nc), nil
+}
+
+// Listen accepts a single peer connection on addr.
+func Listen(addr string) (*TCPConn, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	defer l.Close()
+	nc, err := l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return NewTCPConn(nc), nil
+}
+
+func (t *TCPConn) writeFrame(kind byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := t.nc.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.nc.Write(payload); err != nil {
+		return err
+	}
+	t.c.add(len(payload))
+	return nil
+}
+
+func (t *TCPConn) readFrame(wantKind byte) ([]byte, error) {
+	if _, err := io.ReadFull(t.nc, t.buf[:]); err != nil {
+		return nil, err
+	}
+	if t.buf[0] != wantKind {
+		return nil, fmt.Errorf("transport: expected frame kind %q, got %q", wantKind, t.buf[0])
+	}
+	n := binary.LittleEndian.Uint32(t.buf[1:])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(t.nc, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// SendUints implements Conn.
+func (t *TCPConn) SendUints(xs []uint32) error {
+	payload := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(payload[4*i:], x)
+	}
+	return t.writeFrame('u', payload)
+}
+
+// RecvUints implements Conn.
+func (t *TCPConn) RecvUints() ([]uint32, error) {
+	payload, err := t.readFrame('u')
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]uint32, len(payload)/4)
+	for i := range xs {
+		xs[i] = binary.LittleEndian.Uint32(payload[4*i:])
+	}
+	return xs, nil
+}
+
+// SendUint64s implements Conn.
+func (t *TCPConn) SendUint64s(xs []uint64) error {
+	payload := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(payload[8*i:], x)
+	}
+	return t.writeFrame('U', payload)
+}
+
+// RecvUint64s implements Conn.
+func (t *TCPConn) RecvUint64s() ([]uint64, error) {
+	payload, err := t.readFrame('U')
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]uint64, len(payload)/8)
+	for i := range xs {
+		xs[i] = binary.LittleEndian.Uint64(payload[8*i:])
+	}
+	return xs, nil
+}
+
+// SendBytes implements Conn.
+func (t *TCPConn) SendBytes(b []byte) error { return t.writeFrame('b', b) }
+
+// RecvBytes implements Conn.
+func (t *TCPConn) RecvBytes() ([]byte, error) { return t.readFrame('b') }
+
+// Stats implements Conn.
+func (t *TCPConn) Stats() Stats { return t.c.stats() }
+
+// Close implements Conn.
+func (t *TCPConn) Close() error { return t.nc.Close() }
+
+// Exchange sends mine and receives the peer's slice concurrently, the
+// symmetric rendezvous at the heart of Beaver-style openings. The send is
+// performed on a separate goroutine so neither TCP peer can block the other.
+func Exchange(c Conn, mine []uint64) ([]uint64, error) {
+	errc := make(chan error, 1)
+	go func() { errc <- c.SendUint64s(mine) }()
+	theirs, err := c.RecvUint64s()
+	if sendErr := <-errc; sendErr != nil {
+		return nil, fmt.Errorf("transport: exchange send: %w", sendErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: exchange recv: %w", err)
+	}
+	return theirs, nil
+}
+
+// ExchangeBytes is Exchange for raw byte payloads.
+func ExchangeBytes(c Conn, mine []byte) ([]byte, error) {
+	errc := make(chan error, 1)
+	go func() { errc <- c.SendBytes(mine) }()
+	theirs, err := c.RecvBytes()
+	if sendErr := <-errc; sendErr != nil {
+		return nil, fmt.Errorf("transport: exchange send: %w", sendErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: exchange recv: %w", err)
+	}
+	return theirs, nil
+}

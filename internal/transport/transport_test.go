@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+)
+
+func TestMemPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := a.SendUints([]uint32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.RecvUints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if err := b.SendUint64s([]uint64{9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	g64, err := a.RecvUint64s()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g64[1] != 10 {
+		t.Fatalf("got %v", g64)
+	}
+	if err := a.SendBytes([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	bs, err := b.RecvBytes()
+	if err != nil || string(bs) != "hi" {
+		t.Fatalf("bytes %q err %v", bs, err)
+	}
+}
+
+func TestMemPipeCopiesPayload(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	buf := []uint32{42}
+	if err := a.SendUints(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 7 // mutate after send; receiver must still see 42
+	got, err := b.RecvUints()
+	if err != nil || got[0] != 42 {
+		t.Fatalf("payload aliased: %v err %v", got, err)
+	}
+}
+
+func TestMemPipeKindMismatch(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := a.SendBytes([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RecvUints(); err == nil {
+		t.Fatal("expected kind mismatch error")
+	}
+}
+
+func TestMemPipeStats(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	_ = a.SendUints(make([]uint32, 10))
+	_ = a.SendUint64s(make([]uint64, 3))
+	_ = a.SendBytes(make([]byte, 5))
+	s := a.Stats()
+	if s.BytesSent != 40+24+5 || s.MessagesSent != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	if bs := b.Stats(); bs.BytesSent != 0 {
+		t.Fatalf("receiver should have sent nothing: %+v", bs)
+	}
+}
+
+func TestMemPipeEOFAfterClose(t *testing.T) {
+	a, b := Pipe()
+	a.Close()
+	if _, err := b.RecvUints(); err == nil {
+		t.Fatal("expected EOF after peer close")
+	}
+	b.Close()
+}
+
+func TestExchangeSymmetric(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var fromA []uint64
+	var errB error
+	go func() {
+		defer wg.Done()
+		fromA, errB = Exchange(b, []uint64{100})
+	}()
+	fromB, errA := Exchange(a, []uint64{200})
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("errs %v %v", errA, errB)
+	}
+	if fromB[0] != 100 || fromA[0] != 200 {
+		t.Fatalf("exchange swapped: %v %v", fromA, fromB)
+	}
+}
+
+func TestExchangeBytesSymmetric(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan []byte, 1)
+	go func() {
+		got, err := ExchangeBytes(b, []byte{2})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- got
+	}()
+	got, err := ExchangeBytes(a, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := <-done
+	if got[0] != 2 || other[0] != 1 {
+		t.Fatalf("exchange bytes wrong: %v %v", got, other)
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	addr := l.Addr().String()
+	type acceptResult struct {
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan acceptResult, 1)
+	go func() {
+		c, err := l.Accept()
+		acceptCh <- acceptResult{c, err}
+	}()
+	client, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := <-acceptCh
+	if ar.err != nil {
+		t.Fatal(ar.err)
+	}
+	l.Close()
+
+	server := NewTCPConn(ar.conn)
+	clientT := NewTCPConn(client)
+	defer server.Close()
+	defer clientT.Close()
+
+	if err := clientT.SendUints([]uint32{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.RecvUints()
+	if err != nil || got[1] != 8 {
+		t.Fatalf("tcp uint32: %v %v", got, err)
+	}
+	if err := server.SendUint64s([]uint64{1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+	g64, err := clientT.RecvUint64s()
+	if err != nil || g64[0] != 1<<40 {
+		t.Fatalf("tcp uint64: %v %v", g64, err)
+	}
+	if err := clientT.SendBytes([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	bs, err := server.RecvBytes()
+	if err != nil || string(bs) != "abc" {
+		t.Fatalf("tcp bytes: %q %v", bs, err)
+	}
+	// Exchange across TCP must not deadlock.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := Exchange(server, make([]uint64, 1000)); err != nil {
+			t.Error(err)
+		}
+	}()
+	if _, err := Exchange(clientT, make([]uint64, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if s := clientT.Stats(); s.BytesSent == 0 || s.MessagesSent < 3 {
+		t.Fatalf("client stats %+v", s)
+	}
+}
+
+func TestTCPKindMismatch(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		tc := NewTCPConn(c)
+		_ = tc.SendBytes([]byte{1})
+	}()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.RecvUints(); err == nil {
+		t.Fatal("expected kind mismatch")
+	}
+}
