@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pasnet/internal/fixed"
+	"pasnet/internal/kernel"
+	"pasnet/internal/mpc"
+	"pasnet/internal/rng"
+)
+
+// kernelResult is one timed entry of the kernel exhibit.
+type kernelResult struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	N       int     `json:"iterations"`
+}
+
+// kernelReport is the BENCH_kernel.json schema: the perf-trajectory file
+// CI archives so kernel regressions are visible across commits.
+type kernelReport struct {
+	GeneratedUnix int64              `json:"generated_unix"`
+	Workers       int                `json:"workers"`
+	Results       []kernelResult     `json:"results"`
+	Speedups      map[string]float64 `json:"speedups_lowered_over_naive"`
+}
+
+// kernelBench times the naive scalar loops against the lowered
+// im2col/GEMM kernel — plaintext and through the full 2PC-Conv protocol —
+// and optionally writes BENCH_kernel.json into jsonDir.
+func kernelBench(jsonDir string) error {
+	if jsonDir != "" {
+		// Fail before spending ~30s of benchmarking on an unwritable target.
+		if st, err := os.Stat(jsonDir); err != nil {
+			return fmt.Errorf("benchjson dir: %w", err)
+		} else if !st.IsDir() {
+			return fmt.Errorf("benchjson target %s is not a directory", jsonDir)
+		}
+	}
+	convShape := kernel.ConvShape{N: 4, InC: 16, H: 16, W: 16, OutC: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	dims := mpc.ConvDims{N: 1, InC: 8, H: 16, W: 16, OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	r := rng.New(99)
+	xf := make([]float64, convShape.InLen())
+	kf := make([]float64, convShape.KLen())
+	r.FillNorm(xf, 1)
+	r.FillNorm(kf, 1)
+	outF := make([]float64, convShape.OutLen())
+	xu := make([]uint64, convShape.InLen())
+	ku := make([]uint64, convShape.KLen())
+	r.FillUint64(xu)
+	r.FillUint64(ku)
+	outU := make([]uint64, convShape.OutLen())
+
+	run2pcConv := func() error {
+		xs := make([]float64, dims.InLen())
+		ws := make([]float64, dims.KLen())
+		r.FillNorm(xs, 1)
+		r.FillNorm(ws, 0.5)
+		return mpc.RunProtocol(5, fixed.Default64(), func(p *mpc.Party) error {
+			var encX, encW []uint64
+			if p.ID == 0 {
+				encX = p.EncodeTensor(xs)
+				encW = p.EncodeTensor(ws)
+			}
+			x, err := p.ShareInput(0, encX, dims.N, dims.InC, dims.H, dims.W)
+			if err != nil {
+				return err
+			}
+			w, err := p.ShareInput(0, encW, dims.KLen())
+			if err != nil {
+				return err
+			}
+			_, err = p.Conv2D(x, w, dims)
+			return err
+		})
+	}
+
+	var protoErr error
+	type entry struct {
+		name  string
+		naive bool
+		fn    func()
+	}
+	entries := []entry{
+		{"conv_f64_naive", true, func() { kernel.Conv2D(outF, xf, kf, convShape) }},
+		{"conv_f64_lowered", false, func() { kernel.Conv2D(outF, xf, kf, convShape) }},
+		{"conv_ring_naive", true, func() { kernel.Conv2D(outU, xu, ku, convShape) }},
+		{"conv_ring_lowered", false, func() { kernel.Conv2D(outU, xu, ku, convShape) }},
+		{"conv_2pc_naive", true, func() {
+			if err := run2pcConv(); err != nil && protoErr == nil {
+				protoErr = err
+			}
+		}},
+		{"conv_2pc_lowered", false, func() {
+			if err := run2pcConv(); err != nil && protoErr == nil {
+				protoErr = err
+			}
+		}},
+	}
+
+	rep := kernelReport{
+		GeneratedUnix: time.Now().Unix(),
+		Workers:       kernel.Workers(),
+		Speedups:      map[string]float64{},
+	}
+	perOp := map[string]float64{}
+	fmt.Printf("Kernel microbenchmarks (workers=%d):\n", kernel.Workers())
+	for _, e := range entries {
+		prev := kernel.SetNaive(e.naive)
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.fn()
+			}
+		})
+		kernel.SetNaive(prev)
+		ns := float64(br.NsPerOp())
+		perOp[e.name] = ns
+		rep.Results = append(rep.Results, kernelResult{Name: e.name, NsPerOp: ns, N: br.N})
+		fmt.Printf("  %-18s %12.0f ns/op  (%d iters)\n", e.name, ns, br.N)
+		if protoErr != nil {
+			return fmt.Errorf("2PC conv protocol failed during %s: %w", e.name, protoErr)
+		}
+	}
+	for _, base := range []string{"conv_f64", "conv_ring", "conv_2pc"} {
+		if perOp[base+"_lowered"] > 0 {
+			rep.Speedups[base] = perOp[base+"_naive"] / perOp[base+"_lowered"]
+		}
+	}
+	fmt.Println("\nLowered-over-naive speedups:")
+	for _, base := range []string{"conv_f64", "conv_ring", "conv_2pc"} {
+		fmt.Printf("  %-10s %.2fx\n", base, rep.Speedups[base])
+	}
+
+	if jsonDir != "" {
+		path := filepath.Join(jsonDir, "BENCH_kernel.json")
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", path)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@
 //	pasnet-bench -exhibit fig7
 //	pasnet-bench -exhibit table1 [-accuracy]
 //	pasnet-bench -exhibit ablation
+//	pasnet-bench -exhibit kernel -benchjson .   # naive-vs-lowered kernel timings → BENCH_kernel.json
 package main
 
 import (
@@ -23,9 +24,10 @@ import (
 )
 
 func main() {
-	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation")
+	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation|kernel")
 	profile := flag.String("profile", "quick", "experiment scale: quick|full")
 	accuracy := flag.Bool("accuracy", false, "table1: also train synthetic-accuracy column")
+	benchJSON := flag.String("benchjson", "", "kernel: directory to write BENCH_kernel.json into (empty: stdout only)")
 	flag.Parse()
 
 	var p experiments.Profile
@@ -113,6 +115,8 @@ func main() {
 		for v, s := range experiments.SpeedupVsCryptGPU(rows) {
 			fmt.Printf("  %-12s %6.1fx %6.1fx\n", v, s[0], s[1])
 		}
+	case "kernel":
+		exitOn(kernelBench(*benchJSON))
 	case "ablation":
 		rows, err := experiments.DARTSOrderAblation(p, hw)
 		exitOn(err)

@@ -1,0 +1,3 @@
+module pasnet
+
+go 1.24

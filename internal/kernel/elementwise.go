@@ -1,0 +1,56 @@
+package kernel
+
+// elemGrain is the minimum per-chunk element count for parallel
+// elementwise passes; below 2× this the loop runs inline, so small shares
+// (activations, biases) never pay scheduling overhead.
+const elemGrain = 8192
+
+// Add computes dst = a + b elementwise.
+func Add[T Elem](dst, a, b []T) {
+	parallelFor(len(dst), elemGrain, func(lo, hi int) {
+		d, x, y := dst[lo:hi], a[lo:hi], b[lo:hi]
+		for i := range d {
+			d[i] = x[i] + y[i]
+		}
+	})
+}
+
+// Sub computes dst = a - b elementwise.
+func Sub[T Elem](dst, a, b []T) {
+	parallelFor(len(dst), elemGrain, func(lo, hi int) {
+		d, x, y := dst[lo:hi], a[lo:hi], b[lo:hi]
+		for i := range d {
+			d[i] = x[i] - y[i]
+		}
+	})
+}
+
+// Mul computes dst = a * b elementwise (Hadamard).
+func Mul[T Elem](dst, a, b []T) {
+	parallelFor(len(dst), elemGrain, func(lo, hi int) {
+		d, x, y := dst[lo:hi], a[lo:hi], b[lo:hi]
+		for i := range d {
+			d[i] = x[i] * y[i]
+		}
+	})
+}
+
+// Scale computes dst = s * a elementwise.
+func Scale[T Elem](dst, a []T, s T) {
+	parallelFor(len(dst), elemGrain, func(lo, hi int) {
+		d, x := dst[lo:hi], a[lo:hi]
+		for i := range d {
+			d[i] = s * x[i]
+		}
+	})
+}
+
+// Axpy computes dst += s * a elementwise.
+func Axpy[T Elem](dst, a []T, s T) {
+	parallelFor(len(dst), elemGrain, func(lo, hi int) {
+		d, x := dst[lo:hi], a[lo:hi]
+		for i := range d {
+			d[i] += s * x[i]
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package kernel
+
+// Elem is the element domain shared by every kernel: IEEE float64 for
+// plaintext training and uint64 for the 2PC ring, where Go's wrapping
+// integer arithmetic is exactly the Z_{2^64} semantics.
+type Elem interface {
+	~float64 | ~uint64
+}
+
+// Cache-blocking parameters. blockK bounds how many rows of b stay hot
+// while a dst row accumulates; blockN bounds the dst/b row segment width so
+// one segment of dst plus blockK segments of b fit in L1/L2. The blocking
+// never reorders the per-element reduction (k ascends within and across
+// blocks), so results are independent of the block sizes.
+const (
+	blockK = 128
+	blockN = 512
+)
+
+// gemmFlopGrain is the approximate multiply count handed to one worker;
+// row chunks are sized so small problems stay on one core.
+const gemmFlopGrain = 1 << 15
+
+// rowGrain returns the number of output rows per parallel chunk for a
+// problem with rowWork multiplies per row.
+func rowGrain(rowWork int) int {
+	if rowWork <= 0 {
+		return 1
+	}
+	g := gemmFlopGrain / rowWork
+	if g < 1 {
+		return 1
+	}
+	return g
+}
+
+// MatMul computes dst = a @ b for a (m×k) and b (k×n), parallelized over
+// dst rows. dst must not alias a or b.
+func MatMul[T Elem](dst, a, b []T, m, k, n int) {
+	if Naive() {
+		MatMulNaive(dst, a, b, m, k, n)
+		return
+	}
+	parallelFor(m, rowGrain(k*n), func(lo, hi int) {
+		gemmRows(dst, a, b, m, k, n, lo, hi)
+	})
+}
+
+// MatMulNaive is the retained reference: the seed's single-threaded,
+// unblocked row-times-rows loop nest.
+func MatMulNaive[T Elem](dst, a, b []T, m, k, n int) {
+	for i := 0; i < m; i++ {
+		drow := dst[i*n : (i+1)*n]
+		for x := range drow {
+			drow[x] = 0
+		}
+		arow := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// gemmRows computes dst rows [lo, hi) of a @ b with k/n cache blocking.
+func gemmRows[T Elem](dst, a, b []T, m, k, n, lo, hi int) {
+	_ = m
+	for i := lo; i < hi; i++ {
+		drow := dst[i*n : (i+1)*n]
+		for x := range drow {
+			drow[x] = 0
+		}
+	}
+	for p0 := 0; p0 < k; p0 += blockK {
+		p1 := p0 + blockK
+		if p1 > k {
+			p1 = k
+		}
+		for j0 := 0; j0 < n; j0 += blockN {
+			j1 := j0 + blockN
+			if j1 > n {
+				j1 = n
+			}
+			for i := lo; i < hi; i++ {
+				arow := a[i*k : (i+1)*k]
+				drow := dst[i*n+j0 : i*n+j1]
+				for p := p0; p < p1; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b[p*n+j0 : p*n+j1]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulTransB computes dst = a @ bᵀ for a (m×k) and b (n×k), parallelized
+// over dst rows. Both operands stream row-wise, so no extra blocking is
+// needed; under SetNaive it runs the same loop single-threaded.
+func MatMulTransB[T Elem](dst, a, b []T, m, k, n int) {
+	maybeParallel(m, rowGrain(k*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			drow := dst[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b[j*k : (j+1)*k]
+				var s T
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				drow[j] = s
+			}
+		}
+	})
+}
+
+// MatMulTransBAcc computes dst += a @ bᵀ, the accumulating variant used
+// for weight-gradient reduction across a batch.
+func MatMulTransBAcc[T Elem](dst, a, b []T, m, k, n int) {
+	maybeParallel(m, rowGrain(k*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			drow := dst[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b[j*k : (j+1)*k]
+				var s T
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				drow[j] += s
+			}
+		}
+	})
+}
+
+// MatMulTransA computes dst = aᵀ @ b for a (k×m) and b (k×n), parallelized
+// over dst rows (columns of a).
+func MatMulTransA[T Elem](dst, a, b []T, k, m, n int) {
+	maybeParallel(m, rowGrain(k*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dst[i*n : (i+1)*n]
+			for x := range drow {
+				drow[x] = 0
+			}
+		}
+		for p := 0; p < k; p++ {
+			brow := b[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := a[p*m+i]
+				if av == 0 {
+					continue
+				}
+				drow := dst[i*n : (i+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pasnet/internal/fixed"
+	"pasnet/internal/kernel"
 	"pasnet/internal/rng"
 	"pasnet/internal/transport"
 )
@@ -22,6 +23,25 @@ type Party struct {
 	Codec fixed.Codec64
 	// Rand is this party's private randomness (masks, OT secrets).
 	Rand *rng.RNG
+
+	// scr holds scratch buffers reused across Beaver openings so the hot
+	// open/combine phase allocates nothing after warm-up. A Party is not
+	// safe for concurrent use, which is what makes the reuse sound.
+	scr scratch
+}
+
+// scratch is the per-party reusable buffer set. The e/f views handed out
+// by openPair/openPairUneven stay valid only until the next opening.
+type scratch struct {
+	mine, e, f, tmp []uint64
+}
+
+// grow returns (*buf)[:n], reallocating only when capacity is short.
+func grow(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+	}
+	return (*buf)[:n]
 }
 
 // NewParty assembles a party endpoint. dealerSeed must match the peer's;
@@ -151,41 +171,32 @@ func (p *Party) ScalePublic(x Share, s float64) Share {
 // which is why the executable ring is 64 bits wide (see fixed.Codec64).
 func (p *Party) TruncateInPlace(x *Share) {
 	f := p.Codec.FracBits
+	v := x.V
 	if p.ID == 0 {
-		for i, v := range x.V {
-			x.V[i] = uint64(int64(v) >> f)
-		}
+		kernel.Range(len(v), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v[i] = uint64(int64(v[i]) >> f)
+			}
+		})
 		return
 	}
-	for i, v := range x.V {
-		x.V[i] = -uint64(int64(-v) >> f)
-	}
+	kernel.Range(len(v), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v[i] = -uint64(int64(-v[i]) >> f)
+		}
+	})
 }
 
-// openPair reveals E = x−a and F = y−b in a single exchange round.
+// openPair reveals E = x−a and F = y−b in a single exchange round. The
+// returned slices are scratch views valid until the next opening.
 func (p *Party) openPair(x, a, y, b []uint64) (e, f []uint64, err error) {
-	n := len(x)
-	mine := make([]uint64, 2*n)
-	ringSub(mine[:n], x, a)
-	ringSub(mine[n:], y, b)
-	theirs, err := transport.Exchange(p.Conn, mine)
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(theirs) != 2*n {
-		return nil, nil, fmt.Errorf("mpc: open-pair length %d != %d", len(theirs), 2*n)
-	}
-	e = make([]uint64, n)
-	f = make([]uint64, n)
-	ringAdd(e, mine[:n], theirs[:n])
-	ringAdd(f, mine[n:], theirs[n:])
-	return e, f, nil
+	return p.openPairUneven(x, a, y, b)
 }
 
 // mulCombine assembles R_i = −i·E∘F + X_i∘F + E∘Y_i + Z_i (paper Eq. 2)
 // where ∘ is the bilinear op given by apply.
 func (p *Party) mulCombine(out, e, f, x, y, z []uint64, apply func(dst, a, b []uint64)) {
-	tmp := make([]uint64, len(out))
+	tmp := grow(&p.scr.tmp, len(out))
 	apply(out, x, f) // X_i ∘ F
 	apply(tmp, e, y) // E ∘ Y_i
 	ringAdd(out, out, tmp)
@@ -227,16 +238,16 @@ func (p *Party) MulHadamard(x, y Share) (Share, error) {
 // with the E² term charged to one party so it is counted once).
 func (p *Party) Square(x Share) (Share, error) {
 	a, z := p.Dealer.SquarePair(x.Len())
-	mine := make([]uint64, x.Len())
+	mine := grow(&p.scr.mine, x.Len())
 	ringSub(mine, x.V, a)
 	theirs, err := transport.Exchange(p.Conn, mine)
 	if err != nil {
 		return Share{}, fmt.Errorf("mpc: square open: %w", err)
 	}
-	e := make([]uint64, x.Len())
+	e := grow(&p.scr.e, x.Len())
 	ringAdd(e, mine, theirs)
 	out := NewShare(x.Shape...)
-	tmp := make([]uint64, x.Len())
+	tmp := grow(&p.scr.tmp, x.Len())
 	ringMul(tmp, e, a) // E ∘ A_i
 	for i := range out.V {
 		out.V[i] = z[i] + 2*tmp[i]
@@ -288,11 +299,13 @@ func (p *Party) Conv2D(x, w Share, dims ConvDims) (Share, error) {
 	return out, nil
 }
 
-// openPairUneven opens E = x−a and F = y−b of different lengths in one
-// exchange round.
+// openPairUneven opens E = x−a and F = y−b of possibly different lengths
+// in one exchange round. The returned slices are scratch views valid until
+// the next opening; the transport copies outgoing payloads before Exchange
+// returns, so reusing mine across openings is safe.
 func (p *Party) openPairUneven(x, a, y, b []uint64) (e, f []uint64, err error) {
 	nx, ny := len(x), len(y)
-	mine := make([]uint64, nx+ny)
+	mine := grow(&p.scr.mine, nx+ny)
 	ringSub(mine[:nx], x, a)
 	ringSub(mine[nx:], y, b)
 	theirs, err := transport.Exchange(p.Conn, mine)
@@ -302,8 +315,8 @@ func (p *Party) openPairUneven(x, a, y, b []uint64) (e, f []uint64, err error) {
 	if len(theirs) != nx+ny {
 		return nil, nil, fmt.Errorf("mpc: open length %d != %d", len(theirs), nx+ny)
 	}
-	e = make([]uint64, nx)
-	f = make([]uint64, ny)
+	e = grow(&p.scr.e, nx)
+	f = grow(&p.scr.f, ny)
 	ringAdd(e, mine[:nx], theirs[:nx])
 	ringAdd(f, mine[nx:], theirs[nx:])
 	return e, f, nil

@@ -15,6 +15,7 @@ package mpc
 import (
 	"fmt"
 
+	"pasnet/internal/kernel"
 	"pasnet/internal/rng"
 )
 
@@ -94,51 +95,23 @@ func splitBits(bits []byte, r *rng.RNG) (b0, b1 []byte) {
 	return b0, b1
 }
 
-// ring helpers over Z_{2^64} vectors.
+// ring helpers over Z_{2^64} vectors. All of them delegate to the shared
+// kernel package, which chunks large vectors across the worker pool and
+// keeps small ones inline; Go's wrapping uint64 arithmetic is exactly the
+// Z_{2^64} ring semantics.
 
-func ringAdd(dst, a, b []uint64) {
-	for i := range dst {
-		dst[i] = a[i] + b[i]
-	}
-}
+func ringAdd(dst, a, b []uint64) { kernel.Add(dst, a, b) }
 
-func ringSub(dst, a, b []uint64) {
-	for i := range dst {
-		dst[i] = a[i] - b[i]
-	}
-}
+func ringSub(dst, a, b []uint64) { kernel.Sub(dst, a, b) }
 
-func ringMul(dst, a, b []uint64) {
-	for i := range dst {
-		dst[i] = a[i] * b[i]
-	}
-}
+func ringMul(dst, a, b []uint64) { kernel.Mul(dst, a, b) }
 
-func ringScale(dst, a []uint64, s uint64) {
-	for i := range dst {
-		dst[i] = s * a[i]
-	}
-}
+func ringScale(dst, a []uint64, s uint64) { kernel.Scale(dst, a, s) }
 
-// ringMatMul computes the wrapping matrix product c = a(m×k) @ b(k×n).
+// ringMatMul computes the wrapping matrix product c = a(m×k) @ b(k×n) on
+// the shared cache-blocked parallel GEMM.
 func ringMatMul(c, a, b []uint64, m, k, n int) {
-	for i := 0; i < m; i++ {
-		crow := c[i*n : (i+1)*n]
-		for x := range crow {
-			crow[x] = 0
-		}
-		arow := a[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				crow[j] += av * brow[j]
-			}
-		}
-	}
+	kernel.MatMul(c, a, b, m, k, n)
 }
 
 // ConvDims captures the geometry of a ring convolution.
@@ -154,66 +127,27 @@ type ConvDims struct {
 	Groups int
 }
 
-// groups returns the normalized group count.
-func (d ConvDims) groups() int {
-	if d.Groups <= 1 {
-		return 1
-	}
-	return d.Groups
-}
-
 // OutHW returns the output spatial size.
-func (d ConvDims) OutHW() (int, int) {
-	oh := (d.H+2*d.Pad-d.KH)/d.Stride + 1
-	ow := (d.W+2*d.Pad-d.KW)/d.Stride + 1
-	return oh, ow
-}
+func (d ConvDims) OutHW() (int, int) { return d.shape().OutHW() }
 
-// InLen and KLen and OutLen return flat element counts.
-func (d ConvDims) InLen() int { return d.N * d.InC * d.H * d.W }
-func (d ConvDims) KLen() int  { return d.OutC * (d.InC / d.groups()) * d.KH * d.KW }
-func (d ConvDims) OutLen() int {
-	oh, ow := d.OutHW()
-	return d.N * d.OutC * oh * ow
+// InLen and KLen and OutLen return flat element counts. The arithmetic
+// lives in kernel.ConvShape so the geometry rules exist in one place.
+func (d ConvDims) InLen() int  { return d.shape().InLen() }
+func (d ConvDims) KLen() int   { return d.shape().KLen() }
+func (d ConvDims) OutLen() int { return d.shape().OutLen() }
+
+// shape converts the geometry to the kernel package's conv shape.
+func (d ConvDims) shape() kernel.ConvShape {
+	return kernel.ConvShape{
+		N: d.N, InC: d.InC, H: d.H, W: d.W,
+		OutC: d.OutC, KH: d.KH, KW: d.KW,
+		Stride: d.Stride, Pad: d.Pad, Groups: d.Groups,
+	}
 }
 
 // ringConv2D computes a wrapping NCHW convolution: x (N,InC,H,W) with
-// kernel k (OutC,InC/Groups,KH,KW) into out (N,OutC,OH,OW).
+// kernel k (OutC,InC/Groups,KH,KW) into out (N,OutC,OH,OW). It runs on the
+// shared im2col/GEMM kernel (kernel.SetNaive restores the scalar loops).
 func ringConv2D(out, x, k []uint64, d ConvDims) {
-	oh, ow := d.OutHW()
-	g := d.groups()
-	icPerG := d.InC / g
-	ocPerG := d.OutC / g
-	oi := 0
-	for b := 0; b < d.N; b++ {
-		for oc := 0; oc < d.OutC; oc++ {
-			group := oc / ocPerG
-			kbase := oc * icPerG * d.KH * d.KW
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					var sum uint64
-					for icg := 0; icg < icPerG; icg++ {
-						ic := group*icPerG + icg
-						xbase := (b*d.InC + ic) * d.H * d.W
-						kcbase := kbase + icg*d.KH*d.KW
-						for ky := 0; ky < d.KH; ky++ {
-							iy := oy*d.Stride + ky - d.Pad
-							if iy < 0 || iy >= d.H {
-								continue
-							}
-							for kx := 0; kx < d.KW; kx++ {
-								ix := ox*d.Stride + kx - d.Pad
-								if ix < 0 || ix >= d.W {
-									continue
-								}
-								sum += x[xbase+iy*d.W+ix] * k[kcbase+ky*d.KW+kx]
-							}
-						}
-					}
-					out[oi] = sum
-					oi++
-				}
-			}
-		}
-	}
+	kernel.Conv2D(out, x, k, d.shape())
 }

@@ -26,10 +26,13 @@ func NewDepthwiseConv2D(name string, c, k, stride, pad int, r *rng.RNG) *Depthwi
 	return l
 }
 
-func (l *DepthwiseConv2D) outSize(h, w int) (int, int) {
-	oh := (h+2*l.Pad-l.KH)/l.Stride + 1
-	ow := (w+2*l.Pad-l.KW)/l.Stride + 1
-	return oh, ow
+// spec returns the grouped convolution geometry (groups == channels)
+// that routes the layer through the shared im2col/GEMM kernel.
+func (l *DepthwiseConv2D) spec() tensor.ConvSpec {
+	return tensor.ConvSpec{
+		InC: l.C, OutC: l.C, KH: l.KH, KW: l.KW,
+		Stride: l.Stride, Pad: l.Pad, Groups: l.C,
+	}
 }
 
 // Forward implements Layer.
@@ -37,73 +40,13 @@ func (l *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		l.x = x
 	}
-	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	oh, ow := l.outSize(h, w)
-	y := tensor.New(n, c, oh, ow)
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			xbase := (b*c + ch) * h * w
-			kbase := ch * l.KH * l.KW
-			obase := (b*c + ch) * oh * ow
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					sum := 0.0
-					for ky := 0; ky < l.KH; ky++ {
-						iy := oy*l.Stride + ky - l.Pad
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < l.KW; kx++ {
-							ix := ox*l.Stride + kx - l.Pad
-							if ix < 0 || ix >= w {
-								continue
-							}
-							sum += x.Data[xbase+iy*w+ix] * l.Weight.W.Data[kbase+ky*l.KW+kx]
-						}
-					}
-					y.Data[obase+oy*ow+ox] = sum
-				}
-			}
-		}
-	}
-	return y
+	return tensor.Conv2D(x, l.Weight.W, l.spec())
 }
 
 // Backward implements Layer.
 func (l *DepthwiseConv2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
-	x := l.x
-	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	oh, ow := l.outSize(h, w)
-	dx := tensor.New(x.Shape...)
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			xbase := (b*c + ch) * h * w
-			kbase := ch * l.KH * l.KW
-			obase := (b*c + ch) * oh * ow
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					g := gy.Data[obase+oy*ow+ox]
-					if g == 0 {
-						continue
-					}
-					for ky := 0; ky < l.KH; ky++ {
-						iy := oy*l.Stride + ky - l.Pad
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < l.KW; kx++ {
-							ix := ox*l.Stride + kx - l.Pad
-							if ix < 0 || ix >= w {
-								continue
-							}
-							l.Weight.G.Data[kbase+ky*l.KW+kx] += g * x.Data[xbase+iy*w+ix]
-							dx.Data[xbase+iy*w+ix] += g * l.Weight.W.Data[kbase+ky*l.KW+kx]
-						}
-					}
-				}
-			}
-		}
-	}
+	dx, dk := tensor.Conv2DGrads(l.x, l.Weight.W, gy, l.spec())
+	tensor.AxpyInto(l.Weight.G, dk, 1)
 	return dx
 }
 

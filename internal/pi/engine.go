@@ -43,6 +43,19 @@ func (e *Engine) setupProg(p *mpc.Party, prog *Program) error {
 			if err != nil {
 				return fmt.Errorf("pi: setup %s: %w", op.name, err)
 			}
+			if op.kind == opLinear {
+				// Infer computes y = x Wᵀ; store the transposed share once
+				// (a local, deterministic re-layout both parties apply
+				// identically) instead of re-materializing it per query.
+				out, in := op.weightShape[0], op.weightShape[1]
+				wt := mpc.NewShare(in, out)
+				for r := 0; r < out; r++ {
+					for c := 0; c < in; c++ {
+						wt.V[c*out+r] = sh.V[r*in+c]
+					}
+				}
+				sh = wt
+			}
 			e.weights = append(e.weights, sh)
 		case opResidual:
 			if err := e.setupProg(p, op.body); err != nil {
@@ -99,17 +112,10 @@ func (e *Engine) run(prog *Program, x mpc.Share, widx *int) (mpc.Share, error) {
 				}
 			}
 		case opLinear:
+			// The In×Out transpose was materialized once at Setup.
 			w := e.weights[*widx]
 			*widx++
-			// y = x Wᵀ: share the transpose view by materializing it.
-			out, in := op.weightShape[0], op.weightShape[1]
-			wt := mpc.NewShare(in, out)
-			for r := 0; r < out; r++ {
-				for c := 0; c < in; c++ {
-					wt.V[c*out+r] = w.V[r*in+c]
-				}
-			}
-			x, err = p.MatMul(x, wt)
+			x, err = p.MatMul(x, w)
 			if err != nil {
 				return mpc.Share{}, fmt.Errorf("pi: %s: %w", op.name, err)
 			}

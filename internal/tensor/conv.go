@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"pasnet/internal/kernel"
 )
 
 // ConvSpec describes a 2-D convolution (or pooling window) geometry.
@@ -15,108 +17,49 @@ type ConvSpec struct {
 	Stride int
 	// Pad is symmetric zero padding on both spatial dimensions.
 	Pad int
+	// Groups is the group count (0 or 1 dense; InC == OutC == Groups is a
+	// depthwise convolution). Kernel layout is OutC×(InC/Groups)×KH×KW.
+	Groups int
 }
 
-// OutSize returns the output spatial size for an input of size h×w.
+// shape converts the spec to the kernel package's conv shape for a batch
+// of n images of size h×w.
+func (s ConvSpec) shape(n, h, w int) kernel.ConvShape {
+	return kernel.ConvShape{
+		N: n, InC: s.InC, H: h, W: w,
+		OutC: s.OutC, KH: s.KH, KW: s.KW,
+		Stride: s.Stride, Pad: s.Pad, Groups: s.Groups,
+	}
+}
+
+// groups returns the normalized group count.
+func (s ConvSpec) groups() int { return kernel.NormGroups(s.Groups) }
+
+// OutSize returns the output spatial size for an input of size h×w. The
+// arithmetic lives in kernel.ConvShape so the geometry rules exist in one
+// place.
 func (s ConvSpec) OutSize(h, w int) (oh, ow int) {
-	oh = (h+2*s.Pad-s.KH)/s.Stride + 1
-	ow = (w+2*s.Pad-s.KW)/s.Stride + 1
-	return oh, ow
-}
-
-// Im2Col lowers an NCHW input into the column matrix used by GEMM-based
-// convolution. The result has shape (N*OH*OW) × (InC*KH*KW): each row is
-// the flattened receptive field of one output position.
-func Im2Col(x *Tensor, s ConvSpec) *Tensor {
-	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	if c != s.InC {
-		panic(fmt.Sprintf("tensor: im2col channels %d != spec %d", c, s.InC))
-	}
-	oh, ow := s.OutSize(h, w)
-	cols := New(n*oh*ow, c*s.KH*s.KW)
-	row := 0
-	for b := 0; b < n; b++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				dst := cols.Data[row*cols.Shape[1] : (row+1)*cols.Shape[1]]
-				di := 0
-				for ch := 0; ch < c; ch++ {
-					base := (b*c + ch) * h * w
-					for ky := 0; ky < s.KH; ky++ {
-						iy := oy*s.Stride + ky - s.Pad
-						for kx := 0; kx < s.KW; kx++ {
-							ix := ox*s.Stride + kx - s.Pad
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								dst[di] = x.Data[base+iy*w+ix]
-							} else {
-								dst[di] = 0
-							}
-							di++
-						}
-					}
-				}
-				row++
-			}
-		}
-	}
-	return cols
-}
-
-// Col2Im scatters a column matrix back into an NCHW gradient, accumulating
-// overlapping receptive fields. It is the adjoint of Im2Col.
-func Col2Im(cols *Tensor, s ConvSpec, n, h, w int) *Tensor {
-	c := s.InC
-	oh, ow := s.OutSize(h, w)
-	x := New(n, c, h, w)
-	row := 0
-	for b := 0; b < n; b++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				src := cols.Data[row*cols.Shape[1] : (row+1)*cols.Shape[1]]
-				si := 0
-				for ch := 0; ch < c; ch++ {
-					base := (b*c + ch) * h * w
-					for ky := 0; ky < s.KH; ky++ {
-						iy := oy*s.Stride + ky - s.Pad
-						for kx := 0; kx < s.KW; kx++ {
-							ix := ox*s.Stride + kx - s.Pad
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								x.Data[base+iy*w+ix] += src[si]
-							}
-							si++
-						}
-					}
-				}
-				row++
-			}
-		}
-	}
-	return x
+	return s.shape(1, h, w).OutHW()
 }
 
 // Conv2D computes a 2-D convolution of x (N×InC×H×W) with kernel
-// k (OutC×InC×KH×KW), returning N×OutC×OH×OW.
+// k (OutC×(InC/Groups)×KH×KW), returning N×OutC×OH×OW. It runs on the
+// shared im2col/GEMM kernel (kernel.SetNaive restores the scalar
+// reference loops). Depthwise kernels may drop the singleton channel dim
+// (OutC×KH×KW).
 func Conv2D(x, k *Tensor, s ConvSpec) *Tensor {
 	n, _, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	if k.Shape[0] != s.OutC || k.Shape[1] != s.InC || k.Shape[2] != s.KH || k.Shape[3] != s.KW {
+	icg := s.InC / s.groups()
+	ok4 := len(k.Shape) == 4 && k.Shape[0] == s.OutC && k.Shape[1] == icg &&
+		k.Shape[2] == s.KH && k.Shape[3] == s.KW
+	ok3 := len(k.Shape) == 3 && s.groups() == s.InC && k.Shape[0] == s.OutC &&
+		k.Shape[1] == s.KH && k.Shape[2] == s.KW
+	if !ok4 && !ok3 {
 		panic(fmt.Sprintf("tensor: kernel shape %v does not match spec %+v", k.Shape, s))
 	}
 	oh, ow := s.OutSize(h, w)
-	cols := Im2Col(x, s)                       // (N*OH*OW) × (InC*KH*KW)
-	kmat := k.Reshape(s.OutC, s.InC*s.KH*s.KW) // OutC × (InC*KH*KW)
-	prod := MatMulTransB(cols, kmat)           // (N*OH*OW) × OutC
 	out := New(n, s.OutC, oh, ow)
-	// Transpose (N*OH*OW)×OutC into NCHW.
-	for b := 0; b < n; b++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				row := (b*oh+oy)*ow + ox
-				for oc := 0; oc < s.OutC; oc++ {
-					out.Data[((b*s.OutC+oc)*oh+oy)*ow+ox] = prod.Data[row*s.OutC+oc]
-				}
-			}
-		}
-	}
+	kernel.Conv2D(out.Data, x.Data, k.Data, s.shape(n, h, w))
 	return out
 }
 
@@ -124,27 +67,9 @@ func Conv2D(x, k *Tensor, s ConvSpec) *Tensor {
 // output gradient gy (N×OutC×OH×OW). It returns (dx, dk).
 func Conv2DGrads(x, k, gy *Tensor, s ConvSpec) (dx, dk *Tensor) {
 	n, _, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	oh, ow := s.OutSize(h, w)
-	// Re-layout gy into (N*OH*OW) × OutC.
-	gmat := New(n*oh*ow, s.OutC)
-	for b := 0; b < n; b++ {
-		for oc := 0; oc < s.OutC; oc++ {
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					row := (b*oh+oy)*ow + ox
-					gmat.Data[row*s.OutC+oc] = gy.Data[((b*s.OutC+oc)*oh+oy)*ow+ox]
-				}
-			}
-		}
-	}
-	cols := Im2Col(x, s) // (N*OH*OW) × (InC*KH*KW)
-	// dk = gmat^T @ cols  → OutC × (InC*KH*KW)
-	dkMat := MatMulTransA(gmat, cols)
-	dk = dkMat.Reshape(s.OutC, s.InC, s.KH, s.KW)
-	// dcols = gmat @ kmat → (N*OH*OW) × (InC*KH*KW)
-	kmat := k.Reshape(s.OutC, s.InC*s.KH*s.KW)
-	dcols := MatMul(gmat, kmat)
-	dx = Col2Im(dcols, s, n, h, w)
+	dx = New(x.Shape...)
+	dk = New(k.Shape...)
+	kernel.Conv2DGrads(dx.Data, dk.Data, x.Data, k.Data, gy.Data, s.shape(n, h, w))
 	return dx, dk
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"pasnet/internal/kernel"
 	"pasnet/internal/rng"
 )
 
@@ -124,9 +125,7 @@ func (t *Tensor) offset(idx []int) int {
 func AddInto(dst, a, b *Tensor) {
 	checkSame(a, b)
 	checkSame(dst, a)
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] + b.Data[i]
-	}
+	kernel.Add(dst.Data, a.Data, b.Data)
 }
 
 // Add returns a + b elementwise.
@@ -140,9 +139,7 @@ func Add(a, b *Tensor) *Tensor {
 func SubInto(dst, a, b *Tensor) {
 	checkSame(a, b)
 	checkSame(dst, a)
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] - b.Data[i]
-	}
+	kernel.Sub(dst.Data, a.Data, b.Data)
 }
 
 // Sub returns a - b elementwise.
@@ -156,9 +153,7 @@ func Sub(a, b *Tensor) *Tensor {
 func MulInto(dst, a, b *Tensor) {
 	checkSame(a, b)
 	checkSame(dst, a)
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] * b.Data[i]
-	}
+	kernel.Mul(dst.Data, a.Data, b.Data)
 }
 
 // Mul returns the Hadamard product a * b.
@@ -171,9 +166,7 @@ func Mul(a, b *Tensor) *Tensor {
 // ScaleInto computes dst = s * a.
 func ScaleInto(dst, a *Tensor, s float64) {
 	checkSame(dst, a)
-	for i := range dst.Data {
-		dst.Data[i] = s * a.Data[i]
-	}
+	kernel.Scale(dst.Data, a.Data, s)
 }
 
 // Scale returns s * a.
@@ -186,9 +179,7 @@ func Scale(a *Tensor, s float64) *Tensor {
 // AxpyInto computes dst += s * a.
 func AxpyInto(dst, a *Tensor, s float64) {
 	checkSame(dst, a)
-	for i := range dst.Data {
-		dst.Data[i] += s * a.Data[i]
-	}
+	kernel.Axpy(dst.Data, a.Data, s)
 }
 
 // Sum returns the sum of all elements.
@@ -251,30 +242,14 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
-// MatMulInto computes dst = a @ b for 2-D tensors.
+// MatMulInto computes dst = a @ b for 2-D tensors on the shared
+// cache-blocked parallel GEMM.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	if dst.Shape[0] != m || dst.Shape[1] != n || b.Shape[0] != k {
 		panic("tensor: matmul-into shape mismatch")
 	}
-	ad, bd, dd := a.Data, b.Data, dst.Data
-	for i := 0; i < m; i++ {
-		drow := dd[i*n : (i+1)*n]
-		for x := range drow {
-			drow[x] = 0
-		}
-		arow := ad[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := bd[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				drow[j] += av * brow[j]
-			}
-		}
-	}
+	kernel.MatMul(dst.Data, a.Data, b.Data, m, k, n)
 }
 
 // MatMulTransB computes a @ b^T where a is m×k and b is n×k, returning m×n.
@@ -284,18 +259,7 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			s := 0.0
-			for p := 0; p < k; p++ {
-				s += arow[p] * brow[p]
-			}
-			orow[j] = s
-		}
-	}
+	kernel.MatMulTransB(out.Data, a.Data, b.Data, m, k, n)
 	return out
 }
 
@@ -306,19 +270,6 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	}
 	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	out := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+	kernel.MatMulTransA(out.Data, a.Data, b.Data, k, m, n)
 	return out
 }

@@ -229,17 +229,23 @@ func TestConv2DGradsNumeric(t *testing.T) {
 	}
 }
 
-func TestIm2ColCol2ImAdjoint(t *testing.T) {
-	// <Im2Col(x), c> == <x, Col2Im(c)> for all x, c — adjointness property.
+func TestConvGradAdjoint(t *testing.T) {
+	// <Conv2D(x,k), gy> == <x, dx> == <k, dk> — the bilinear adjoint
+	// property of the kernel-lowered conv (exhaustively property-tested in
+	// internal/kernel; this is the tensor-API-level smoke check).
 	r := rng.New(9)
-	s := ConvSpec{InC: 2, OutC: 1, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	s := ConvSpec{InC: 2, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1}
 	x := New(1, 2, 6, 6).RandNorm(r, 1)
-	cols := Im2Col(x, s)
-	c := New(cols.Shape...).RandNorm(r, 1)
-	lhs := Dot(cols, c)
-	rhs := Dot(x, Col2Im(c, s, 1, 6, 6))
-	if !almostEqual(lhs, rhs, 1e-9*math.Abs(lhs)+1e-9) {
-		t.Fatalf("adjoint property violated: %v vs %v", lhs, rhs)
+	k := New(3, 2, 3, 3).RandNorm(r, 1)
+	y := Conv2D(x, k, s)
+	gy := New(y.Shape...).RandNorm(r, 1)
+	dx, dk := Conv2DGrads(x, k, gy, s)
+	lhs := Dot(y, gy)
+	if got := Dot(x, dx); !almostEqual(got, lhs, 1e-9*math.Abs(lhs)+1e-9) {
+		t.Fatalf("<x,dx> = %v, want %v", got, lhs)
+	}
+	if got := Dot(k, dk); !almostEqual(got, lhs, 1e-9*math.Abs(lhs)+1e-9) {
+		t.Fatalf("<k,dk> = %v, want %v", got, lhs)
 	}
 }
 
