@@ -11,6 +11,7 @@
 //	pasnet-bench -exhibit table1 [-accuracy]
 //	pasnet-bench -exhibit ablation
 //	pasnet-bench -exhibit kernel -benchjson .   # naive-vs-lowered kernel timings → BENCH_kernel.json
+//	pasnet-bench -exhibit pibatch -benchjson .  # batched 2PC amortization → BENCH_pibatch.json
 package main
 
 import (
@@ -24,10 +25,10 @@ import (
 )
 
 func main() {
-	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation|kernel")
+	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation|kernel|pibatch")
 	profile := flag.String("profile", "quick", "experiment scale: quick|full")
 	accuracy := flag.Bool("accuracy", false, "table1: also train synthetic-accuracy column")
-	benchJSON := flag.String("benchjson", "", "kernel: directory to write BENCH_kernel.json into (empty: stdout only)")
+	benchJSON := flag.String("benchjson", "", "kernel/pibatch: directory to write the BENCH_*.json file into (empty: stdout only)")
 	flag.Parse()
 
 	var p experiments.Profile
@@ -117,6 +118,8 @@ func main() {
 		}
 	case "kernel":
 		exitOn(kernelBench(*benchJSON))
+	case "pibatch":
+		exitOn(pibatchBench(*benchJSON))
 	case "ablation":
 		rows, err := experiments.DARTSOrderAblation(p, hw)
 		exitOn(err)

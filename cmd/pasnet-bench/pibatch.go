@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"pasnet/internal/dataset"
+	"pasnet/internal/hwmodel"
+	"pasnet/internal/kernel"
+	"pasnet/internal/models"
+	"pasnet/internal/nas"
+	"pasnet/internal/pi"
+	"pasnet/internal/tensor"
+)
+
+// pibatchResult is one batch size's amortized online cost.
+type pibatchResult struct {
+	K                   int     `json:"k"`
+	OnlineMSTotal       float64 `json:"online_ms_total"`
+	OnlineMSPerQuery    float64 `json:"online_ms_per_query"`
+	OnlineBytesTotal    int64   `json:"online_bytes_total"`
+	OnlineBytesPerQuery int64   `json:"online_bytes_per_query"`
+	Reps                int     `json:"reps"`
+}
+
+// pibatchReport is the BENCH_pibatch.json schema: the perf-trajectory file
+// recording what multi-query batching buys over one-query-at-a-time
+// serving (amortized online ms and bytes per query by batch size).
+type pibatchReport struct {
+	GeneratedUnix int64           `json:"generated_unix"`
+	Workers       int             `json:"workers"`
+	Backbone      string          `json:"backbone"`
+	Results       []pibatchResult `json:"results"`
+	// SpeedupMSPerQuery maps "kN" to (K=1 amortized ms) / (K=N amortized
+	// ms): how much cheaper one query gets when N share a flush.
+	SpeedupMSPerQuery map[string]float64 `json:"speedup_ms_per_query_vs_k1"`
+	// BytesRatioPerQuery maps "kN" to the per-query online-bytes ratio
+	// K=1 / K=N (communication amortization is deterministic).
+	BytesRatioPerQuery map[string]float64 `json:"bytes_ratio_per_query_vs_k1"`
+}
+
+// pibatchBench measures the batched multi-query pipeline: amortized online
+// wall-clock and traffic per query at K=1, 4, 16, and writes
+// BENCH_pibatch.json into jsonDir when set. Each batch size takes the
+// fastest of several repetitions so a noisy runner cannot manufacture a
+// phantom regression; bytes are deterministic.
+func pibatchBench(jsonDir string) error {
+	if jsonDir != "" {
+		if st, err := os.Stat(jsonDir); err != nil {
+			return fmt.Errorf("benchjson dir: %w", err)
+		} else if !st.IsDir() {
+			return fmt.Errorf("benchjson target %s is not a directory", jsonDir)
+		}
+	}
+	const backbone = "resnet18"
+	cfg := models.CIFARConfig(0.0625, 3)
+	cfg.InputHW = 8
+	cfg.NumClasses = 4
+	cfg.Act = models.ActX2
+	m, err := models.ByName(backbone, cfg)
+	if err != nil {
+		return err
+	}
+	d := dataset.Synthetic(dataset.SynthConfig{
+		N: 64, Classes: 4, C: 3, HW: 8, LatentDim: 8,
+		TeacherHidden: 16, TeacherDepth: 2, Noise: 0.1, Seed: 9,
+	})
+	opts := nas.DefaultTrainOptions()
+	opts.Steps = 20
+	opts.BatchSize = 8
+	if _, err := nas.TrainModel(m, d, d, opts); err != nil {
+		return err
+	}
+	hw := hwmodel.DefaultConfig()
+
+	rep := pibatchReport{
+		GeneratedUnix:      time.Now().Unix(),
+		Workers:            kernel.Workers(),
+		Backbone:           backbone,
+		SpeedupMSPerQuery:  map[string]float64{},
+		BytesRatioPerQuery: map[string]float64{},
+	}
+	fmt.Printf("Batched 2PC inference (workers=%d, %s):\n", kernel.Workers(), backbone)
+	fmt.Printf("  %4s %16s %16s %18s\n", "K", "online ms", "ms/query", "bytes/query")
+	var base pibatchResult
+	for _, k := range []int{1, 4, 16} {
+		queries := make([]*tensor.Tensor, k)
+		for i := range queries {
+			x, _ := d.Batch([]int{i % d.Len()})
+			queries[i] = x
+		}
+		// More reps at small K, where a single scheduling hiccup is a
+		// larger fraction of the measurement.
+		reps := 3 + 32/k
+		best := pibatchResult{K: k, Reps: reps}
+		for r := 0; r < reps; r++ {
+			res, err := pi.RunBatch(m, hw, queries, uint64(17+13*r))
+			if err != nil {
+				return fmt.Errorf("pibatch K=%d: %w", k, err)
+			}
+			ms := res.OnlineSeconds * 1e3
+			if best.OnlineMSTotal == 0 || ms < best.OnlineMSTotal {
+				best.OnlineMSTotal = ms
+				best.OnlineMSPerQuery = res.OnlineSecondsPerQuery * 1e3
+			}
+			best.OnlineBytesTotal = res.OnlineBytes
+			best.OnlineBytesPerQuery = res.OnlineBytesPerQuery
+		}
+		rep.Results = append(rep.Results, best)
+		fmt.Printf("  %4d %16.2f %16.3f %18d\n",
+			k, best.OnlineMSTotal, best.OnlineMSPerQuery, best.OnlineBytesPerQuery)
+		if k == 1 {
+			base = best
+		} else {
+			key := fmt.Sprintf("k%d", k)
+			rep.SpeedupMSPerQuery[key] = base.OnlineMSPerQuery / best.OnlineMSPerQuery
+			rep.BytesRatioPerQuery[key] = float64(base.OnlineBytesPerQuery) / float64(best.OnlineBytesPerQuery)
+		}
+	}
+	fmt.Println("\nAmortized per-query speedup over K=1:")
+	for _, k := range []int{4, 16} {
+		key := fmt.Sprintf("k%d", k)
+		fmt.Printf("  K=%-3d %.2fx time, %.2fx bytes\n",
+			k, rep.SpeedupMSPerQuery[key], rep.BytesRatioPerQuery[key])
+	}
+
+	if jsonDir != "" {
+		path := filepath.Join(jsonDir, "BENCH_pibatch.json")
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", path)
+	}
+	return nil
+}

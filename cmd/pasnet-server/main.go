@@ -1,19 +1,31 @@
-// Command pasnet-server runs one party of a genuine two-process private
-// inference over TCP, demonstrating the deployment shape of the paper's
-// two-server setup (model vendor = party 0, query owner = party 1).
+// Command pasnet-server runs the paper's two-server private-inference
+// deployment over TCP, now with a batched multi-query pipeline: party 1
+// accepts client queries, packs everything that arrives within a batching
+// window into one N=K secure evaluation against party 0, and demultiplexes
+// the per-query logits back to each client.
 //
 // Terminal 1:  pasnet-server -party 0 -listen :9000
-// Terminal 2:  pasnet-server -party 1 -connect 127.0.0.1:9000
 //
-// Both processes build the same (deterministically seeded) trained model
-// and dealer stream; party 1 supplies a random query and both print the
-// reconstructed logits.
+//	Terminal 2:  pasnet-server -party 1 -connect 127.0.0.1:9000 \
+//		-client-listen :9100 -batch 8 -window 50ms -clients 2
+//
+// Terminal 3+: pasnet-server -party client -client-connect 127.0.0.1:9100 -queries 4
+//
+// Both computing parties build the same (deterministically seeded) trained
+// model and dealer stream; weight shares are established once per session
+// and reused across every batched flush. Running party 1 without
+// -client-listen instead evaluates -queries local queries through the same
+// batcher (the in-process multi-query mode).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
+	"net"
 	"os"
+	"sync"
+	"time"
 
 	"pasnet/internal/dataset"
 	"pasnet/internal/fixed"
@@ -25,64 +37,355 @@ import (
 	"pasnet/internal/transport"
 )
 
+// config collects the command-line options of all three roles.
+type config struct {
+	party         string
+	listen        string
+	connect       string
+	clientListen  string
+	clientConnect string
+	backbone      string
+	seed          uint64
+	batch         int
+	window        time.Duration
+	queries       int
+	clients       int
+}
+
 func main() {
-	party := flag.Int("party", 0, "party id: 0 (model vendor, listens) or 1 (client server, connects)")
-	listen := flag.String("listen", ":9000", "party 0 listen address")
-	connect := flag.String("connect", "127.0.0.1:9000", "party 1 peer address")
-	backbone := flag.String("backbone", "resnet18", "model backbone")
-	seed := flag.Uint64("seed", 99, "shared deterministic seed (must match on both parties)")
+	var cfg config
+	flag.StringVar(&cfg.party, "party", "0", "role: 0 (model vendor, listens), 1 (client-facing server, connects), client (query submitter)")
+	flag.StringVar(&cfg.listen, "listen", ":9000", "party 0 listen address for the 2PC link")
+	flag.StringVar(&cfg.connect, "connect", "127.0.0.1:9000", "party 1 peer address for the 2PC link")
+	flag.StringVar(&cfg.clientListen, "client-listen", "", "party 1 address for client query submissions (empty: evaluate -queries local queries)")
+	flag.StringVar(&cfg.clientConnect, "client-connect", "127.0.0.1:9100", "client mode: party 1's client address")
+	flag.StringVar(&cfg.backbone, "backbone", "resnet18", "model backbone")
+	flag.Uint64Var(&cfg.seed, "seed", 99, "shared deterministic seed (must match on both computing parties)")
+	flag.IntVar(&cfg.batch, "batch", 8, "party 1: max queries packed into one secure evaluation")
+	flag.DurationVar(&cfg.window, "window", 50*time.Millisecond, "party 1: max wait before flushing a partial batch")
+	flag.IntVar(&cfg.queries, "queries", 4, "queries to submit (party 1 local mode, or client mode)")
+	flag.IntVar(&cfg.clients, "clients", 1, "party 1: client connections to serve before shutting down")
 	flag.Parse()
-	if err := run(*party, *listen, *connect, *backbone, *seed); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pasnet-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(party int, listen, connect, backbone string, seed uint64) error {
-	// Both processes deterministically train the same small model so the
-	// demo needs no weight files (the dealer stream is likewise seeded).
+// inputHW is the demo model's spatial size; all roles derive query geometry
+// from it.
+const inputHW = 16
+
+// buildDataset returns the deterministic synthetic query source shared by
+// every role.
+func buildDataset(seed uint64) *dataset.Dataset {
+	return dataset.Synthetic(dataset.SynthConfig{
+		N: 64, Classes: 4, C: 3, HW: inputHW, LatentDim: 8,
+		TeacherHidden: 16, TeacherDepth: 2, Noise: 0.1, Seed: seed,
+	})
+}
+
+// buildModel deterministically trains the demo model so the two computing
+// parties need no weight files.
+func buildModel(backbone string, seed uint64, d *dataset.Dataset) (*models.Model, error) {
 	cfg := models.CIFARConfig(0.0625, seed)
-	cfg.InputHW = 16
+	cfg.InputHW = inputHW
 	cfg.NumClasses = 4
 	cfg.Act = models.ActX2
 	m, err := models.ByName(backbone, cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	d := dataset.Synthetic(dataset.SynthConfig{
-		N: 64, Classes: 4, C: 3, HW: 16, LatentDim: 8,
-		TeacherHidden: 16, TeacherDepth: 2, Noise: 0.1, Seed: seed,
-	})
 	tOpts := nas.DefaultTrainOptions()
 	tOpts.Steps = 20
 	tOpts.BatchSize = 8
 	if _, err := nas.TrainModel(m, d, d, tOpts); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func run(cfg config) error {
+	switch cfg.party {
+	case "0":
+		return runVendor(cfg)
+	case "1":
+		return runFrontend(cfg)
+	case "client":
+		return runClient(cfg)
+	default:
+		return fmt.Errorf("unknown -party %q (want 0, 1 or client)", cfg.party)
+	}
+}
+
+// runVendor is party 0: it shares the model once, then serves batched
+// evaluations until party 1 closes the session.
+func runVendor(cfg config) error {
+	d := buildDataset(cfg.seed)
+	m, err := buildModel(cfg.backbone, cfg.seed, d)
+	if err != nil {
 		return err
 	}
-
-	var conn *transport.TCPConn
-	if party == 0 {
-		fmt.Println("party 0 listening on", listen)
-		conn, err = transport.Listen(listen)
-	} else {
-		fmt.Println("party 1 connecting to", connect)
-		conn, err = transport.Dial(connect)
-	}
+	fmt.Println("party 0 listening on", cfg.listen)
+	conn, err := transport.Listen(cfg.listen)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-
-	p := mpc.NewParty(party, conn, seed, seed*1000+uint64(party)+1, fixed.Default64())
-	var query *tensor.Tensor
-	if party == 1 {
-		query, _ = d.Batch([]int{int(seed) % d.Len()})
-	}
-	logits, err := pi.RunParty(p, m, query, []int{1, 3, 16, 16})
+	p := mpc.NewParty(0, conn, cfg.seed, cfg.seed*1000+1, fixed.Default64())
+	// Batch dimension 0 = any batch size; geometry is pinned.
+	sess, err := pi.NewSession(p, m, []int{0, 3, inputHW, inputHW})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("reconstructed logits: %.4f\n", logits)
-	fmt.Printf("traffic sent by this party: %d bytes\n", conn.Stats().BytesSent)
+	fmt.Println("party 0: model shared, serving batched evaluations")
+	if err := sess.Serve(); err != nil {
+		return err
+	}
+	fmt.Printf("party 0: session closed; traffic sent: %d bytes\n", conn.Stats().BytesSent)
 	return nil
+}
+
+// runFrontend is party 1: it batches queries (from TCP clients or a local
+// generator) and runs each flush as one secure evaluation against party 0.
+func runFrontend(cfg config) error {
+	d := buildDataset(cfg.seed)
+	m, err := buildModel(cfg.backbone, cfg.seed, d)
+	if err != nil {
+		return err
+	}
+	fmt.Println("party 1 connecting to", cfg.connect)
+	conn, err := transport.Dial(cfg.connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	p := mpc.NewParty(1, conn, cfg.seed, cfg.seed*1000+2, fixed.Default64())
+	sess, err := pi.NewSession(p, m, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("party 1: model shared, batching up to %d queries per %v window\n", cfg.batch, cfg.window)
+	flushes := 0
+	batcher := pi.NewBatcher(cfg.batch, cfg.window, func(b *tensor.Tensor) ([]float64, error) {
+		flushes++
+		fmt.Printf("party 1: flushing batch of %d\n", b.Shape[0])
+		return sess.Query(b)
+	})
+
+	var serveErr error
+	if cfg.clientListen == "" {
+		runLocalQueries(cfg, d, batcher)
+	} else {
+		serveErr = serveClients(cfg, batcher)
+	}
+	// Tear down in order even when client serving failed, so party 0 sees
+	// the clean end-of-session sentinel rather than a transport error.
+	batcher.Close()
+	if err := sess.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("party 1: done after %d flushes; traffic sent: %d bytes\n", flushes, conn.Stats().BytesSent)
+	return serveErr
+}
+
+// validateQueryShape bounds a client-supplied query shape before any
+// allocation: geometry must match the demo model exactly and the row count
+// must stay within rowCap. Untrusted clients reach this path, so the
+// checks run before tensor.New can be handed hostile dimensions.
+func validateQueryShape(shape []int, rowCap int) error {
+	rows, geom := 1, shape
+	if len(shape) == 4 {
+		rows, geom = shape[0], shape[1:]
+	}
+	if len(geom) != 3 || geom[0] != 3 || geom[1] != inputHW || geom[2] != inputHW {
+		return fmt.Errorf("query shape %v does not match expected geometry 3×%d×%d", shape, inputHW, inputHW)
+	}
+	if rows < 1 || rows > rowCap {
+		return fmt.Errorf("query batch rows %d outside [1, %d]", rows, rowCap)
+	}
+	return nil
+}
+
+// runLocalQueries is the in-process multi-query mode: -queries concurrent
+// submissions through the batcher, so they coalesce into shared flushes.
+func runLocalQueries(cfg config, d *dataset.Dataset, batcher *pi.Batcher) {
+	var wg sync.WaitGroup
+	for q := 0; q < cfg.queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			x, _ := d.Batch([]int{(int(cfg.seed) + q) % d.Len()})
+			start := time.Now()
+			logits, err := batcher.Submit(x)
+			if err != nil {
+				fmt.Printf("query %d: %v\n", q, err)
+				return
+			}
+			fmt.Printf("query %d: logits %.4f  (%.1f ms round trip)\n",
+				q, logits, time.Since(start).Seconds()*1e3)
+		}(q)
+	}
+	wg.Wait()
+}
+
+// serveClients accepts -clients connections and pipes their queries through
+// the shared batcher, so concurrent clients land in the same flush.
+func serveClients(cfg config, batcher *pi.Batcher) error {
+	l, err := net.Listen("tcp", cfg.clientListen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("party 1: accepting %d client connection(s) on %s\n", cfg.clients, cfg.clientListen)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.clients; i++ {
+		nc, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(id int, nc net.Conn) {
+			defer wg.Done()
+			if err := handleClient(transport.NewTCPConn(nc), batcher, cfg.batch); err != nil {
+				fmt.Printf("party 1: client %d: %v\n", id, err)
+			}
+		}(i, nc)
+	}
+	wg.Wait()
+	return nil
+}
+
+// handleClient reads a stream of (shape, data) query frames, enqueues each
+// on the batcher in arrival order without blocking the read loop (so one
+// client's pipelined queries share a flush, packed deterministically), and
+// writes replies back in submission order. A malformed query gets an
+// error reply (empty frame) without touching the batcher, so one bad
+// client query can never poison a shared flush or the 2PC session.
+func handleClient(tc *transport.TCPConn, batcher *pi.Batcher, rowCap int) error {
+	defer tc.Close()
+	waits := make(chan func() ([]float64, error), 256)
+	writeErr := make(chan error, 1) // the writer sends exactly one value
+	go func() {
+		for wait := range waits {
+			logits, err := wait()
+			if err != nil {
+				fmt.Println("party 1: query error:", err)
+				logits = nil // empty frame marks a failed query
+			}
+			if err := tc.SendUint64s(floatBits(logits)); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- nil
+	}()
+	// enqueue hands a wait function to the writer without deadlocking if
+	// the writer already died on a send error: the error arrives on
+	// writeErr instead of a spot ever opening up in waits.
+	enqueue := func(wait func() ([]float64, error)) error {
+		select {
+		case waits <- wait:
+			return nil
+		case err := <-writeErr:
+			return err
+		}
+	}
+	failQuery := func(err error) error {
+		return enqueue(func() ([]float64, error) { return nil, err })
+	}
+	for {
+		shape, err := tc.RecvShape()
+		if err != nil || len(shape) == 0 {
+			close(waits)
+			if werr := <-writeErr; werr != nil {
+				return werr
+			}
+			if err != nil {
+				return err
+			}
+			return nil
+		}
+		vals, err := tc.RecvUint64s()
+		if err != nil {
+			close(waits)
+			<-writeErr
+			return err
+		}
+		if err := validateQueryShape(shape, rowCap); err != nil {
+			if err := failQuery(err); err != nil {
+				return err
+			}
+			continue
+		}
+		x := tensor.New(shape...)
+		if len(vals) != len(x.Data) {
+			if err := failQuery(fmt.Errorf("query payload %d values, shape %v wants %d", len(vals), shape, len(x.Data))); err != nil {
+				return err
+			}
+			continue
+		}
+		copy(x.Data, bitsToFloats(vals))
+		if err := enqueue(batcher.SubmitAsync(x)); err != nil {
+			return err
+		}
+	}
+}
+
+// runClient submits -queries queries to party 1 and prints each reply. All
+// queries are pipelined before the first reply is read, so a single client
+// exercises the batching path end to end.
+func runClient(cfg config) error {
+	d := buildDataset(cfg.seed)
+	tc, err := transport.Dial(cfg.clientConnect)
+	if err != nil {
+		return err
+	}
+	defer tc.Close()
+	start := time.Now()
+	for q := 0; q < cfg.queries; q++ {
+		x, _ := d.Batch([]int{(int(cfg.seed) + q) % d.Len()})
+		if err := tc.SendShape(x.Shape); err != nil {
+			return err
+		}
+		if err := tc.SendUint64s(floatBits(x.Data)); err != nil {
+			return err
+		}
+	}
+	if err := tc.SendShape(nil); err != nil { // end of query stream
+		return err
+	}
+	for q := 0; q < cfg.queries; q++ {
+		vals, err := tc.RecvUint64s()
+		if err != nil {
+			return fmt.Errorf("reply %d: %w", q, err)
+		}
+		if len(vals) == 0 {
+			fmt.Printf("query %d: evaluation failed server-side\n", q)
+			continue
+		}
+		fmt.Printf("query %d: logits %.4f\n", q, bitsToFloats(vals))
+	}
+	el := time.Since(start).Seconds()
+	fmt.Printf("client: %d queries in %.1f ms (%.1f ms/query amortized)\n",
+		cfg.queries, el*1e3, el*1e3/float64(cfg.queries))
+	return nil
+}
+
+// floatBits reinterprets float64s as their IEEE bit patterns for framing;
+// bitsToFloats is its inverse on the receive side.
+func floatBits(vs []float64) []uint64 {
+	out := make([]uint64, len(vs))
+	for i, v := range vs {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}
+
+func bitsToFloats(vs []uint64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = math.Float64frombits(v)
+	}
+	return out
 }

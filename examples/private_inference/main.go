@@ -12,6 +12,8 @@ import (
 	"pasnet/internal/dataset"
 	"pasnet/internal/models"
 	"pasnet/internal/nas"
+	"pasnet/internal/pi"
+	"pasnet/internal/tensor"
 )
 
 func main() {
@@ -52,4 +54,23 @@ func main() {
 		float64(res.OnlineBytes)/1e3, float64(res.SetupBytes)/1e3)
 	fmt.Printf("modelled hardware: %.2f ms latency, %.2f MB comm on ZCU104 pair\n",
 		res.Modeled.TotalSec*1e3, float64(res.Modeled.CommBits)/8/1e6)
+
+	// 3. Batched multi-query inference: four queries share one secure
+	// evaluation, amortizing the online cost per query.
+	queries := make([]*tensor.Tensor, 4)
+	for i := range queries {
+		q, _ := val.Batch([]int{i})
+		queries[i] = q
+	}
+	batch, err := pi.RunBatch(m, fw.HW, queries, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbatched run of %d queries: max abs error %.5f\n", batch.Batch, batch.MaxAbsErr)
+	for i, logits := range batch.PerQuery {
+		fmt.Printf("  query %d logits: %.4f\n", i, logits)
+	}
+	fmt.Printf("amortized online cost: %.2f KB and %.2f ms per query (batch total %.2f KB, %.2f ms)\n",
+		float64(batch.OnlineBytesPerQuery)/1e3, batch.OnlineSecondsPerQuery*1e3,
+		float64(batch.OnlineBytes)/1e3, batch.OnlineSeconds*1e3)
 }

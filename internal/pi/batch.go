@@ -1,0 +1,326 @@
+package pi
+
+import (
+	"fmt"
+
+	"pasnet/internal/models"
+	"pasnet/internal/mpc"
+	"pasnet/internal/tensor"
+	"pasnet/internal/transport"
+)
+
+// This file implements the batched multi-query pipeline: K independent
+// client queries are packed into one N=K NCHW share so every layer of the
+// compiled program — and every round of the underlying protocols — runs
+// once per batch instead of once per query. The kernel package's grouped
+// GEMM then amortizes the heavy linear algebra across the batch dimension,
+// and the per-op fixed costs (Beaver openings, truncation passes, message
+// framing) are paid once per flush.
+
+// PackQueries stacks K plaintext queries along the batch dimension. Each
+// query must be C×H×W or N×C×H×W with identical trailing geometry; the
+// returned tensor is (ΣN)×C×H×W and the count slice records each query's
+// row span for demultiplexing.
+func PackQueries(queries []*tensor.Tensor) (*tensor.Tensor, []int, error) {
+	if len(queries) == 0 {
+		return nil, nil, fmt.Errorf("pi: no queries to pack")
+	}
+	counts := make([]int, len(queries))
+	var geom []int
+	total := 0
+	for i, q := range queries {
+		n, g, err := splitLeading(q.Shape)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pi: query %d: %w", i, err)
+		}
+		if geom == nil {
+			geom = g
+		} else if !shapeEqual(geom, g) {
+			return nil, nil, fmt.Errorf("pi: query %d geometry %v does not match %v", i, g, geom)
+		}
+		counts[i] = n
+		total += n
+	}
+	packed := tensor.New(append([]int{total}, geom...)...)
+	off := 0
+	for _, q := range queries {
+		off += copy(packed.Data[off:], q.Data)
+	}
+	return packed, counts, nil
+}
+
+// PackShares is PackQueries over secret shares: both parties pack their
+// halves identically (a local re-layout), so the packed share is a valid
+// sharing of the packed plaintext batch.
+func PackShares(xs []mpc.Share) (mpc.Share, []int, error) {
+	if len(xs) == 0 {
+		return mpc.Share{}, nil, fmt.Errorf("pi: no query shares to pack")
+	}
+	counts := make([]int, len(xs))
+	var geom []int
+	total := 0
+	for i, x := range xs {
+		n, g, err := splitLeading(x.Shape)
+		if err != nil {
+			return mpc.Share{}, nil, fmt.Errorf("pi: query share %d: %w", i, err)
+		}
+		if geom == nil {
+			geom = g
+		} else if !shapeEqual(geom, g) {
+			return mpc.Share{}, nil, fmt.Errorf("pi: query share %d geometry %v does not match %v", i, g, geom)
+		}
+		counts[i] = n
+		total += n
+	}
+	packed := mpc.NewShare(append([]int{total}, geom...)...)
+	off := 0
+	for _, x := range xs {
+		off += copy(packed.V[off:], x.V)
+	}
+	return packed, counts, nil
+}
+
+// SplitShares splits a batched output share back into per-query shares
+// along the leading dimension. counts[i] rows go to query i, preserving
+// each query's original batch size.
+func SplitShares(out mpc.Share, counts []int) ([]mpc.Share, error) {
+	if len(out.Shape) < 1 {
+		return nil, fmt.Errorf("pi: cannot split scalar share")
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if out.Shape[0] != total {
+		return nil, fmt.Errorf("pi: batched output has %d rows, queries expect %d", out.Shape[0], total)
+	}
+	rowLen := out.Len() / out.Shape[0]
+	parts := make([]mpc.Share, len(counts))
+	off := 0
+	for i, n := range counts {
+		shape := append([]int{n}, out.Shape[1:]...)
+		s := mpc.NewShare(shape...)
+		off += copy(s.V, out.V[off:off+n*rowLen])
+		parts[i] = s
+	}
+	return parts, nil
+}
+
+// SplitLogits demultiplexes a flat batched logit vector into per-query
+// slices. counts[i] rows of width len(out)/ΣN go to query i.
+func SplitLogits(out []float64, counts []int) ([][]float64, error) {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 || len(out)%total != 0 {
+		return nil, fmt.Errorf("pi: %d logits do not demux over %d query rows", len(out), total)
+	}
+	d := len(out) / total
+	parts := make([][]float64, len(counts))
+	off := 0
+	for i, n := range counts {
+		parts[i] = out[off : off+n*d : off+n*d]
+		off += n * d
+	}
+	return parts, nil
+}
+
+// InferBatch packs K independent query shares into one N=K batch, runs the
+// compiled program once, and returns the per-query output shares. Both
+// parties must call it with query lists of identical geometry; the packing
+// and demultiplexing are local, so protocol traffic is exactly that of a
+// single batched inference.
+func (e *Engine) InferBatch(xs []mpc.Share) ([]mpc.Share, error) {
+	packed, counts, err := PackShares(xs)
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.Infer(packed)
+	if err != nil {
+		return nil, err
+	}
+	return SplitShares(out, counts)
+}
+
+// splitLeading normalizes a query shape into (batch rows, geometry):
+// N×C×H×W keeps its leading dim, C×H×W is one row.
+func splitLeading(shape []int) (int, []int, error) {
+	switch len(shape) {
+	case 4:
+		if shape[0] < 1 {
+			return 0, nil, fmt.Errorf("batch dim %d < 1 in shape %v", shape[0], shape)
+		}
+		return shape[0], shape[1:], nil
+	case 3:
+		return 1, shape, nil
+	default:
+		return 0, nil, fmt.Errorf("query shape %v is not C×H×W or N×C×H×W", shape)
+	}
+}
+
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckShape validates an actual query shape against an expectation. An
+// empty expectation accepts anything; a zero in any position is a wildcard
+// for that dimension (expected[0]=0 is the usual "any batch size" form).
+func CheckShape(actual, expected []int) error {
+	if len(expected) == 0 {
+		return nil
+	}
+	if len(actual) != len(expected) {
+		return fmt.Errorf("pi: query shape %v does not match expected input shape %v", actual, expected)
+	}
+	for i := range actual {
+		if expected[i] != 0 && actual[i] != expected[i] {
+			return fmt.Errorf("pi: query shape %v does not match expected input shape %v", actual, expected)
+		}
+	}
+	return nil
+}
+
+// negotiateShape is the pre-flush control round: party 1 announces the
+// batch geometry it is about to share, party 0 announces the geometry it
+// expects, and each side validates the other's view before any protocol
+// data flows. A mismatch therefore surfaces as an immediate, symmetric
+// error instead of a mid-protocol length desync. Party 1 returns the
+// agreed shape; party 0 additionally learns the flush's batch size this
+// way. An empty shape from party 1 is the end-of-session sentinel, and is
+// returned as (nil, nil).
+func negotiateShape(p *mpc.Party, mine []int) ([]int, error) {
+	theirs, err := transport.ExchangeShapes(p.Conn, mine)
+	if err != nil {
+		return nil, fmt.Errorf("pi: shape negotiation: %w", err)
+	}
+	if p.ID == 0 {
+		if len(theirs) == 0 {
+			return nil, nil
+		}
+		if err := CheckShape(theirs, mine); err != nil {
+			return nil, err
+		}
+		return theirs, nil
+	}
+	if err := CheckShape(mine, theirs); err != nil {
+		return nil, err
+	}
+	return mine, nil
+}
+
+// Session is one party's endpoint of a persistent private-inference
+// deployment: the model is compiled and secret-shared once, then any
+// number of batched evaluations run over the same transport. It is the
+// unit cmd/pasnet-server builds its request batcher on.
+type Session struct {
+	party *mpc.Party
+	eng   *Engine
+	// expect is party 0's declared query geometry (index 0 zero = any
+	// batch size). Party 1 leaves it nil.
+	expect []int
+}
+
+// NewSession compiles the model and performs the one-time weight-sharing
+// setup. Both parties must construct their session before either side
+// issues a query. expect is the input geometry party 0 will enforce per
+// flush; pass 0 for the batch dimension to accept any batch size. Party 1
+// may pass nil.
+func NewSession(p *mpc.Party, m *models.Model, expect []int) (*Session, error) {
+	if m.Net == nil {
+		return nil, fmt.Errorf("pi: model %q has no trained network", m.Name)
+	}
+	prog, err := Compile(m.Net)
+	if err != nil {
+		return nil, err
+	}
+	eng := NewEngine(prog)
+	if err := eng.Setup(p); err != nil {
+		return nil, err
+	}
+	return &Session{party: p, eng: eng, expect: expect}, nil
+}
+
+// Query runs one batched evaluation from party 1's side: negotiate the
+// batch shape, secret-share the packed queries, run the program, and
+// reconstruct the flat batched logits (row i holds query row i's logits).
+func (s *Session) Query(x *tensor.Tensor) ([]float64, error) {
+	if s.party.ID != 1 {
+		return nil, fmt.Errorf("pi: Query is party 1's side; party 0 serves")
+	}
+	if _, err := negotiateShape(s.party, x.Shape); err != nil {
+		return nil, err
+	}
+	xs, err := s.party.ShareInput(1, s.party.EncodeTensor(x.Data), x.Shape...)
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.eng.Infer(xs)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := s.party.Reveal(out)
+	if err != nil {
+		return nil, err
+	}
+	return s.party.DecodeTensor(vals), nil
+}
+
+// ServeOne runs one batched evaluation from party 0's side, returning
+// done=true when the peer closed the session. The logits are returned so
+// deployments where party 0 also consumes results can use them.
+func (s *Session) ServeOne() (logits []float64, done bool, err error) {
+	if s.party.ID != 0 {
+		return nil, false, fmt.Errorf("pi: ServeOne is party 0's side; party 1 queries")
+	}
+	shape, err := negotiateShape(s.party, s.expect)
+	if err != nil {
+		return nil, false, err
+	}
+	if shape == nil {
+		return nil, true, nil
+	}
+	xs, err := s.party.ShareInput(1, nil, shape...)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := s.eng.Infer(xs)
+	if err != nil {
+		return nil, false, err
+	}
+	vals, err := s.party.Reveal(out)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.party.DecodeTensor(vals), false, nil
+}
+
+// Serve loops batched evaluations until the peer closes the session.
+func (s *Session) Serve() error {
+	for {
+		_, done, err := s.ServeOne()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// Close ends the session from party 1's side by sending the empty-shape
+// sentinel that releases party 0's serve loop.
+func (s *Session) Close() error {
+	if s.party.ID != 1 {
+		return nil
+	}
+	return s.party.Conn.SendShape(nil)
+}

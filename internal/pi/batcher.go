@@ -1,0 +1,167 @@
+package pi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pasnet/internal/tensor"
+)
+
+// FlushFunc evaluates one packed batch (ΣN×C×H×W) and returns the flat
+// batched logits, row-major over the batch. Session.Query is the deployed
+// implementation; tests substitute plaintext evaluation.
+type FlushFunc func(batch *tensor.Tensor) ([]float64, error)
+
+// Batcher queues independent inference requests and flushes them as one
+// batched secure evaluation when either the batch fills up or the oldest
+// queued request has waited a full window. Submit blocks until its query's
+// logits come back, so the batcher converts concurrent per-query callers
+// (one goroutine per client connection in cmd/pasnet-server) into the
+// engine's single-flight batched protocol.
+//
+// Flushes run strictly one at a time in submission order: the underlying
+// 2PC session is a lockstep two-party program and must never see
+// interleaved evaluations.
+type Batcher struct {
+	max    int
+	window time.Duration
+	flush  FlushFunc
+
+	mu      sync.Mutex
+	pending []batchReq
+	timer   *time.Timer
+	closed  bool
+	// flushing serializes flushes without holding mu during the (slow)
+	// secure evaluation.
+	flushing sync.Mutex
+}
+
+// batchReq is one queued query and its reply channel.
+type batchReq struct {
+	x     *tensor.Tensor
+	reply chan batchReply
+}
+
+type batchReply struct {
+	logits []float64
+	err    error
+}
+
+// NewBatcher builds a batcher flushing at max queries (minimum 1) or after
+// window (zero or negative: only the count threshold triggers).
+func NewBatcher(max int, window time.Duration, flush FlushFunc) *Batcher {
+	if max < 1 {
+		max = 1
+	}
+	return &Batcher{max: max, window: window, flush: flush}
+}
+
+// Submit queues one query (C×H×W or N×C×H×W) and blocks until the flush
+// containing it completes, returning this query's logits.
+func (b *Batcher) Submit(x *tensor.Tensor) ([]float64, error) {
+	return b.SubmitAsync(x)()
+}
+
+// SubmitAsync queues one query and returns a wait function that blocks
+// until the flush containing it completes. Queries pack into a batch in
+// SubmitAsync call order, so a caller that enqueues sequentially (e.g. a
+// connection reader draining a pipelined query stream) gets a
+// deterministic batch layout — and therefore reproducible fixed-point
+// noise — while still letting all of its queries share one flush.
+func (b *Batcher) SubmitAsync(x *tensor.Tensor) func() ([]float64, error) {
+	reply := make(chan batchReply, 1)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return func() ([]float64, error) { return nil, fmt.Errorf("pi: batcher closed") }
+	}
+	b.pending = append(b.pending, batchReq{x: x, reply: reply})
+	full := len(b.pending) >= b.max
+	if !full && len(b.pending) == 1 && b.window > 0 {
+		// First request of a new batch arms the window clock.
+		b.timer = time.AfterFunc(b.window, func() { b.flushNow(true) })
+	}
+	b.mu.Unlock()
+	if full {
+		// Run the flush off the caller's goroutine so an enqueuing loop
+		// keeps accepting queries while the secure evaluation runs.
+		go b.flushNow(false)
+	}
+	return func() ([]float64, error) {
+		r := <-reply
+		return r.logits, r.err
+	}
+}
+
+// Close rejects future submissions and flushes whatever is queued so no
+// submitter is left blocked.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.flushNow(true)
+}
+
+func (b *Batcher) stopTimerLocked() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+}
+
+// flushNow drains the queue in chunks of at most max requests and runs one
+// batched evaluation per chunk. When force is false (a Submit that filled
+// the batch), a trailing partial chunk stays queued for the window timer;
+// when force is true (timer fire or Close), everything flushes. It is safe
+// to call from the timer, a filling Submit, and Close concurrently: the
+// flushing lock serializes evaluations and the queue slicing under mu
+// makes each request part of exactly one flush.
+func (b *Batcher) flushNow(force bool) {
+	b.flushing.Lock()
+	defer b.flushing.Unlock()
+	for {
+		b.mu.Lock()
+		n := len(b.pending)
+		if n == 0 || (!force && n < b.max) {
+			if n == 0 {
+				b.stopTimerLocked()
+			}
+			b.mu.Unlock()
+			return
+		}
+		take := n
+		if take > b.max {
+			take = b.max
+		}
+		reqs := b.pending[:take:take]
+		b.pending = append([]batchReq(nil), b.pending[take:]...)
+		b.mu.Unlock()
+		b.flushChunk(reqs)
+	}
+}
+
+// flushChunk evaluates one drained chunk and fans results (or the shared
+// error) back to its submitters.
+func (b *Batcher) flushChunk(reqs []batchReq) {
+	queries := make([]*tensor.Tensor, len(reqs))
+	for i, r := range reqs {
+		queries[i] = r.x
+	}
+	packed, counts, err := PackQueries(queries)
+	var per [][]float64
+	if err == nil {
+		var out []float64
+		out, err = b.flush(packed)
+		if err == nil {
+			per, err = SplitLogits(out, counts)
+		}
+	}
+	for i, r := range reqs {
+		if err != nil {
+			r.reply <- batchReply{err: err}
+			continue
+		}
+		r.reply <- batchReply{logits: per[i]}
+	}
+}

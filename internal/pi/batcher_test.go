@@ -1,0 +1,187 @@
+package pi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pasnet/internal/tensor"
+)
+
+// echoFlush is a plaintext FlushFunc returning one logit per batch row:
+// the row's first element. It lets tests verify demultiplexing routes each
+// submitter its own query's result.
+func echoFlush(batches *[][]int, mu *sync.Mutex) FlushFunc {
+	return func(b *tensor.Tensor) ([]float64, error) {
+		n := b.Shape[0]
+		rowLen := b.Len() / n
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			out[i] = b.Data[i*rowLen]
+		}
+		if batches != nil {
+			mu.Lock()
+			*batches = append(*batches, []int{n})
+			mu.Unlock()
+		}
+		return out, nil
+	}
+}
+
+// taggedQuery builds a 1×1×2×2 query whose first element is the tag.
+func taggedQuery(tag float64) *tensor.Tensor {
+	x := tensor.New(1, 1, 2, 2)
+	x.Data[0] = tag
+	return x
+}
+
+func TestBatcherCountTriggerAndDemux(t *testing.T) {
+	var mu sync.Mutex
+	var batches [][]int
+	b := NewBatcher(3, 0, echoFlush(&batches, &mu)) // window 0: only count flushes
+	const k = 9
+	var wg sync.WaitGroup
+	errCh := make(chan error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			logits, err := b.Submit(taggedQuery(float64(100 + i)))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if len(logits) != 1 || logits[0] != float64(100+i) {
+				errCh <- fmt.Errorf("query %d got logits %v", i, logits)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, bt := range batches {
+		if bt[0] > 3 {
+			t.Fatalf("flush exceeded max batch: %v", batches)
+		}
+		total += bt[0]
+	}
+	if total != k {
+		t.Fatalf("flushed %d rows, want %d (batches %v)", total, k, batches)
+	}
+}
+
+func TestBatcherWindowTrigger(t *testing.T) {
+	b := NewBatcher(100, 30*time.Millisecond, echoFlush(nil, nil))
+	start := time.Now()
+	logits, err := b.Submit(taggedQuery(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits[0] != 7 {
+		t.Fatalf("logits %v", logits)
+	}
+	// The partial batch must flush via the window, not hang for 99 peers.
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("window flush took %v", el)
+	}
+}
+
+func TestBatcherCloseFlushesPending(t *testing.T) {
+	release := make(chan struct{})
+	b := NewBatcher(10, 0, func(x *tensor.Tensor) ([]float64, error) {
+		<-release
+		return echoFlush(nil, nil)(x)
+	})
+	done := make(chan error, 1)
+	go func() {
+		logits, err := b.Submit(taggedQuery(5))
+		if err == nil && logits[0] != 5 {
+			err = fmt.Errorf("logits %v", logits)
+		}
+		done <- err
+	}()
+	// Give the submitter time to queue, then close: the pending query must
+	// still be evaluated.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	b.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close left a submitter blocked")
+	}
+	if _, err := b.Submit(taggedQuery(1)); err == nil {
+		t.Fatal("Submit after Close must fail")
+	}
+}
+
+// TestBatcherSubmitAsyncPreservesOrder pins the deterministic batch
+// layout: sequential SubmitAsync calls pack into the flush in call order,
+// and each wait function receives its own query's rows.
+func TestBatcherSubmitAsyncPreservesOrder(t *testing.T) {
+	var mu sync.Mutex
+	var packed []float64
+	b := NewBatcher(4, 0, func(x *tensor.Tensor) ([]float64, error) {
+		n := x.Shape[0]
+		rowLen := x.Len() / n
+		out := make([]float64, n)
+		mu.Lock()
+		for i := 0; i < n; i++ {
+			out[i] = x.Data[i*rowLen]
+			packed = append(packed, x.Data[i*rowLen])
+		}
+		mu.Unlock()
+		return out, nil
+	})
+	waits := make([]func() ([]float64, error), 4)
+	for i := range waits {
+		waits[i] = b.SubmitAsync(taggedQuery(float64(10 + i)))
+	}
+	for i, wait := range waits {
+		logits, err := wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if logits[0] != float64(10+i) {
+			t.Fatalf("wait %d got %v", i, logits)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, tag := range packed {
+		if tag != float64(10+i) {
+			t.Fatalf("batch packed out of submission order: %v", packed)
+		}
+	}
+}
+
+func TestBatcherFlushErrorFansOut(t *testing.T) {
+	b := NewBatcher(2, 0, func(x *tensor.Tensor) ([]float64, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Submit(taggedQuery(1)); err != nil {
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failures.Load() != 2 {
+		t.Fatalf("%d of 2 submitters saw the flush error", failures.Load())
+	}
+}

@@ -1,0 +1,217 @@
+package pi
+
+import (
+	"sync"
+	"testing"
+
+	"pasnet/internal/fixed"
+	"pasnet/internal/mpc"
+	"pasnet/internal/nn"
+	"pasnet/internal/rng"
+	"pasnet/internal/tensor"
+)
+
+// These table-driven tests pin the weight-index correspondence between
+// Compile's program order and Engine.Setup/run's depth-first widx walk.
+// The walk recurses body-before-shortcut through residual ops; if either
+// side's ordering ever changed independently, inference would silently
+// consume the wrong weight tensor for every op after the divergence. The
+// tests reconstruct each shared weight from both parties' Setup state and
+// match it against the plaintext tensor the program op carries.
+
+// weightOrderOp is one secret tensor in expected setup order.
+type weightOrderOp struct {
+	name    string
+	kind    opKind
+	weights []float64
+	shape   []int
+}
+
+// expectedWeightOrder walks a program depth-first (body before shortcut),
+// mirroring the documented Setup/run traversal.
+func expectedWeightOrder(prog *Program) []weightOrderOp {
+	var out []weightOrderOp
+	for i := range prog.Ops {
+		op := &prog.Ops[i]
+		switch op.kind {
+		case opConv, opDWConv, opLinear:
+			out = append(out, weightOrderOp{name: op.name, kind: op.kind, weights: op.weights, shape: op.weightShape})
+		case opResidual:
+			out = append(out, expectedWeightOrder(op.body)...)
+			if op.shortcut != nil {
+				out = append(out, expectedWeightOrder(op.shortcut)...)
+			}
+		}
+	}
+	return out
+}
+
+// setupWeights runs Engine.Setup on both parties and reconstructs every
+// shared weight tensor in setup order.
+func setupWeights(t *testing.T, prog *Program) [][]uint64 {
+	t.Helper()
+	var mu sync.Mutex
+	shares := [2][]mpc.Share{}
+	err := mpc.RunProtocol(17, fixed.Default64(), func(p *mpc.Party) error {
+		eng := NewEngine(prog)
+		if err := eng.Setup(p); err != nil {
+			return err
+		}
+		mu.Lock()
+		shares[p.ID] = eng.weights
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares[0]) != len(shares[1]) {
+		t.Fatalf("parties hold %d vs %d weight shares", len(shares[0]), len(shares[1]))
+	}
+	out := make([][]uint64, len(shares[0]))
+	for i := range out {
+		out[i] = mpc.CombineShares(shares[0][i].V, shares[1][i].V)
+	}
+	return out
+}
+
+func TestSetupWeightOrderThroughResiduals(t *testing.T) {
+	r := rng.New(31)
+	mk := func(name string, inC, outC int) *nn.Conv2D {
+		return nn.NewConv2D(name, tensor.ConvSpec{InC: inC, OutC: outC, KH: 3, KW: 3, Stride: 1, Pad: 1}, false, r)
+	}
+	cases := []struct {
+		name  string
+		net   *nn.Network
+		order []string // expected secret-tensor names in setup order
+	}{
+		{
+			name: "flat",
+			net: nn.NewNetwork(nn.NewSequential(
+				mk("a", 2, 3), mk("b", 3, 4), nn.NewFlatten(), nn.NewLinear("fc", 4*16, 2, r),
+			)),
+			order: []string{"a.weight", "b.weight", "fc.weight"},
+		},
+		{
+			name: "residual-body-before-shortcut",
+			net: nn.NewNetwork(nn.NewSequential(
+				mk("stem", 2, 3),
+				nn.NewResidual(
+					nn.NewSequential(mk("body1", 3, 3), mk("body2", 3, 3)),
+					nn.NewSequential(mk("short", 3, 3)),
+					nil,
+				),
+				mk("tail", 3, 2),
+				nn.NewFlatten(),
+				nn.NewLinear("fc", 2*16, 2, r),
+			)),
+			order: []string{"stem.weight", "body1.weight", "body2.weight", "short.weight", "tail.weight", "fc.weight"},
+		},
+		{
+			name: "nested-residual-bodies",
+			net: nn.NewNetwork(nn.NewSequential(
+				mk("stem", 2, 3),
+				nn.NewResidual(
+					nn.NewSequential(
+						mk("outerA", 3, 3),
+						nn.NewResidual(
+							nn.NewSequential(mk("innerBody", 3, 3)),
+							nn.NewSequential(mk("innerShort", 3, 3)),
+							nil,
+						),
+						mk("outerB", 3, 3),
+					),
+					nn.NewSequential(mk("outerShort", 3, 3)),
+					nil,
+				),
+				nn.NewFlatten(),
+				nn.NewLinear("fc", 3*16, 2, r),
+			)),
+			order: []string{
+				"stem.weight",
+				"outerA.weight", "innerBody.weight", "innerShort.weight", "outerB.weight",
+				"outerShort.weight",
+				"fc.weight",
+			},
+		},
+		{
+			name: "residual-inside-shortcut",
+			net: nn.NewNetwork(nn.NewSequential(
+				mk("stem", 2, 3),
+				nn.NewResidual(
+					nn.NewSequential(mk("body", 3, 3)),
+					nn.NewSequential(
+						mk("scPre", 3, 3),
+						nn.NewResidual(nn.NewSequential(mk("scInner", 3, 3)), nil, nil),
+					),
+					nil,
+				),
+				nn.NewFlatten(),
+				nn.NewLinear("fc", 3*16, 2, r),
+			)),
+			order: []string{"stem.weight", "body.weight", "scPre.weight", "scInner.weight", "fc.weight"},
+		},
+		{
+			name: "depthwise-and-bn-folding",
+			net: nn.NewNetwork(nn.NewSequential(
+				mk("c1", 2, 4),
+				nn.NewBatchNorm2D("bn1", 4), // folds into c1, consuming no slot
+				nn.NewDepthwiseConv2D("dw", 4, 3, 1, 1, r),
+				nn.NewBatchNorm2D("bn2", 4),
+				mk("c2", 4, 2),
+				nn.NewFlatten(),
+				nn.NewLinear("fc", 2*16, 2, r),
+			)),
+			order: []string{"c1.weight", "dw.weight", "c2.weight", "fc.weight"},
+		},
+	}
+
+	codec := fixed.Default64()
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			prog, err := Compile(c.net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			order := expectedWeightOrder(prog)
+			if len(order) != len(c.order) {
+				t.Fatalf("walk found %d secret tensors, want %d", len(order), len(c.order))
+			}
+			for i, want := range c.order {
+				if order[i].name != want {
+					t.Fatalf("setup slot %d holds %q, want %q", i, order[i].name, want)
+				}
+			}
+			if n := prog.NumSecretTensors(); n != len(order) {
+				t.Fatalf("NumSecretTensors %d != walk %d", n, len(order))
+			}
+			combined := setupWeights(t, prog)
+			if len(combined) != len(order) {
+				t.Fatalf("Setup shared %d tensors, want %d", len(combined), len(order))
+			}
+			for i, op := range order {
+				enc := codec.EncodeSlice(op.weights, nil)
+				if op.kind == opLinear {
+					// Setup stores linear weights transposed (In×Out).
+					outD, in := op.shape[0], op.shape[1]
+					tr := make([]uint64, len(enc))
+					for row := 0; row < outD; row++ {
+						for col := 0; col < in; col++ {
+							tr[col*outD+row] = enc[row*in+col]
+						}
+					}
+					enc = tr
+				}
+				if len(combined[i]) != len(enc) {
+					t.Fatalf("slot %d (%s): %d ring words, want %d", i, op.name, len(combined[i]), len(enc))
+				}
+				for j := range enc {
+					if combined[i][j] != enc[j] {
+						t.Fatalf("slot %d (%s) diverges from plaintext weights at %d — setup order and program order miscorrespond", i, op.name, j)
+					}
+				}
+			}
+		})
+	}
+}

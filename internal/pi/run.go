@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"pasnet/internal/fixed"
 	"pasnet/internal/hwmodel"
@@ -13,19 +14,32 @@ import (
 	"pasnet/internal/transport"
 )
 
-// Result reports one private inference run.
+// Result reports one private inference run (a single query or a packed
+// multi-query batch).
 type Result struct {
-	// Output is the reconstructed logits.
+	// Output is the reconstructed logits, row-major over the batch.
 	Output []float64
+	// PerQuery is Output demultiplexed per packed query (len Batch).
+	PerQuery [][]float64
 	// Plain is the plaintext reference evaluation.
 	Plain []float64
 	// MaxAbsErr is the largest |Output−Plain| element.
 	MaxAbsErr float64
+	// Batch is the number of queries evaluated in this run.
+	Batch int
 	// OnlineBytes is the measured traffic of the inference phase (both
 	// parties, excluding model-share setup).
 	OnlineBytes int64
 	// SetupBytes is the measured one-time model-sharing traffic.
 	SetupBytes int64
+	// OnlineSeconds is the wall-clock of the online phase: input sharing,
+	// every layer protocol, and output reconstruction, with both parties
+	// running concurrently. Weight-share setup is excluded.
+	OnlineSeconds float64
+	// OnlineBytesPerQuery and OnlineSecondsPerQuery are the amortized
+	// per-query online costs, the figures of merit for batched serving.
+	OnlineBytesPerQuery   int64
+	OnlineSecondsPerQuery float64
 	// Modeled is the FPGA hardware model's cost for the network at paper
 	// scale (from models.Model.Ops), the basis of the Table I columns.
 	Modeled hwmodel.Cost
@@ -33,8 +47,34 @@ type Result struct {
 
 // Run executes a full private inference of a trained model on input x
 // (N×C×H×W, party 1's query), with both parties in-process over an
-// in-memory transport. It verifies against plaintext evaluation.
+// in-memory transport. It verifies against plaintext evaluation. The N
+// rows of x count as N queries for the amortized metrics.
 func Run(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, seed uint64) (*Result, error) {
+	batch := 1
+	if len(x.Shape) > 0 {
+		batch = x.Shape[0]
+	}
+	counts := make([]int, batch)
+	for i := range counts {
+		counts[i] = 1
+	}
+	return runPacked(m, hw, x, counts, seed)
+}
+
+// RunBatch packs K independent queries into one N=K secure evaluation:
+// every layer of the compiled program, and every protocol round beneath
+// it, runs once for the whole batch. Result.PerQuery holds each query's
+// logits; the amortized fields divide the batch's online cost evenly.
+func RunBatch(m *models.Model, hw hwmodel.Config, queries []*tensor.Tensor, seed uint64) (*Result, error) {
+	packed, counts, err := PackQueries(queries)
+	if err != nil {
+		return nil, err
+	}
+	return runPacked(m, hw, packed, counts, seed)
+}
+
+// runPacked is the shared two-party executor behind Run and RunBatch.
+func runPacked(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, counts []int, seed uint64) (*Result, error) {
 	if m.Net == nil {
 		return nil, fmt.Errorf("pi: model %q has no trained network", m.Name)
 	}
@@ -50,14 +90,15 @@ func Run(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, seed uint64) (*Re
 		mpc.NewParty(0, c0, seed, seed*31+1, codec),
 		mpc.NewParty(1, c1, seed, seed*31+2, codec),
 	}
-	var setupBytes, totalBytes int64
+	var setupBytes int64
 	outputs := [2][]float64{}
 	errs := [2]error{}
 	var setupMu sync.Mutex
-	setupDone := make([]chan struct{}, 2)
-	for i := range setupDone {
-		setupDone[i] = make(chan struct{})
-	}
+	// The online clock starts only after both parties finish the one-time
+	// weight sharing, so OnlineSeconds measures the deployed steady state.
+	var setupWG sync.WaitGroup
+	setupWG.Add(2)
+	startOnline := make(chan struct{})
 
 	var wg sync.WaitGroup
 	for i, p := range parties {
@@ -70,15 +111,16 @@ func Run(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, seed uint64) (*Re
 				}
 			}()
 			eng := NewEngine(prog)
-			if err := eng.Setup(p); err != nil {
-				errs[i] = err
-				close(setupDone[i])
-				return
-			}
+			err := eng.Setup(p)
 			setupMu.Lock()
 			setupBytes += p.Conn.Stats().BytesSent
 			setupMu.Unlock()
-			close(setupDone[i])
+			setupWG.Done()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			<-startOnline
 
 			var enc []uint64
 			if p.ID == 1 {
@@ -102,20 +144,35 @@ func Run(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, seed uint64) (*Re
 			outputs[i] = p.DecodeTensor(vals)
 		}(i, p)
 	}
+	setupWG.Wait()
+	onlineStart := time.Now()
+	close(startOnline)
 	wg.Wait()
+	onlineSeconds := time.Since(onlineStart).Seconds()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	totalBytes = c0.Stats().BytesSent + c1.Stats().BytesSent
+	totalBytes := c0.Stats().BytesSent + c1.Stats().BytesSent
 
+	batch := len(counts)
 	res := &Result{
-		Output:      outputs[0],
-		Plain:       append([]float64(nil), plain.Data...),
-		SetupBytes:  setupBytes,
-		OnlineBytes: totalBytes - setupBytes,
-		Modeled:     hwmodel.NetworkCost(hw, m.Ops),
+		Output:        outputs[0],
+		Plain:         append([]float64(nil), plain.Data...),
+		Batch:         batch,
+		SetupBytes:    setupBytes,
+		OnlineBytes:   totalBytes - setupBytes,
+		OnlineSeconds: onlineSeconds,
+		Modeled:       hwmodel.NetworkCost(hw, m.Ops),
+	}
+	if batch > 0 {
+		res.OnlineBytesPerQuery = res.OnlineBytes / int64(batch)
+		res.OnlineSecondsPerQuery = onlineSeconds / float64(batch)
+	}
+	res.PerQuery, err = SplitLogits(res.Output, counts)
+	if err != nil {
+		return nil, err
 	}
 	for i := range res.Output {
 		if d := math.Abs(res.Output[i] - res.Plain[i]); d > res.MaxAbsErr {
@@ -133,35 +190,32 @@ func Run(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, seed uint64) (*Re
 
 // RunParty executes one side of a private inference over an established
 // transport (the cmd/pasnet-server two-process deployment). Party 1
-// supplies the query x; party 0 passes nil and owns the model weights.
+// supplies the query x; party 0 passes nil and declares the input geometry
+// it expects (zero entries are wildcards, nil accepts anything). Both
+// parties validate the query shape against that expectation in a control
+// round before any protocol data flows, so a mismatch returns a clear
+// error on both sides instead of a mid-protocol desync.
 func RunParty(p *mpc.Party, m *models.Model, x *tensor.Tensor, inputShape []int) ([]float64, error) {
-	prog, err := Compile(m.Net)
-	if err != nil {
-		return nil, err
-	}
-	eng := NewEngine(prog)
-	if err := eng.Setup(p); err != nil {
-		return nil, err
-	}
-	var enc []uint64
 	if p.ID == 1 {
 		if x == nil {
 			return nil, fmt.Errorf("pi: party 1 must supply the query")
 		}
-		enc = p.EncodeTensor(x.Data)
-		inputShape = x.Shape
+		sess, err := NewSession(p, m, nil)
+		if err != nil {
+			return nil, err
+		}
+		return sess.Query(x)
 	}
-	xs, err := p.ShareInput(1, enc, inputShape...)
+	sess, err := NewSession(p, m, inputShape)
 	if err != nil {
 		return nil, err
 	}
-	out, err := eng.Infer(xs)
+	logits, done, err := sess.ServeOne()
 	if err != nil {
 		return nil, err
 	}
-	vals, err := p.Reveal(out)
-	if err != nil {
-		return nil, err
+	if done {
+		return nil, fmt.Errorf("pi: peer closed the session before querying")
 	}
-	return p.DecodeTensor(vals), nil
+	return logits, nil
 }

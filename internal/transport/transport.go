@@ -28,6 +28,14 @@ type Conn interface {
 	SendBytes(b []byte) error
 	// RecvBytes receives the next framed byte slice.
 	RecvBytes() ([]byte, error)
+	// SendShape transmits a tensor-shape control frame. Shape frames use a
+	// distinct frame kind so a control message can never be mistaken for
+	// protocol data (a mismatch surfaces as a framing error instead of a
+	// silent desync). An empty shape is legal and serves as an
+	// end-of-session sentinel for batched serving loops.
+	SendShape(shape []int) error
+	// RecvShape receives the next shape control frame.
+	RecvShape() ([]int, error)
 	// Stats returns cumulative traffic counters for this endpoint.
 	Stats() Stats
 	// Close releases the underlying resources.
@@ -60,10 +68,41 @@ func (c *counter) stats() Stats {
 
 // message is the unit carried by the in-memory pipe.
 type message struct {
-	kind byte // 'u' uint32s, 'U' uint64s, 'b' bytes
+	kind byte // 'u' uint32s, 'U' uint64s, 'b' bytes, 's' shape
 	u32  []uint32
 	u64  []uint64
 	raw  []byte
+}
+
+// shapeDims bounds the rank of a shape frame so a corrupted or hostile
+// header cannot trigger a huge allocation.
+const shapeDims = 16
+
+// encodeShape packs a shape into its wire form (one uint32 per dim).
+func encodeShape(shape []int) ([]byte, error) {
+	if len(shape) > shapeDims {
+		return nil, fmt.Errorf("transport: shape rank %d exceeds %d", len(shape), shapeDims)
+	}
+	payload := make([]byte, 4*len(shape))
+	for i, d := range shape {
+		if d < 0 || int64(d) > int64(^uint32(0)) {
+			return nil, fmt.Errorf("transport: shape dim %d out of range", d)
+		}
+		binary.LittleEndian.PutUint32(payload[4*i:], uint32(d))
+	}
+	return payload, nil
+}
+
+// decodeShape unpacks a shape wire payload.
+func decodeShape(payload []byte) ([]int, error) {
+	if len(payload)%4 != 0 || len(payload) > 4*shapeDims {
+		return nil, fmt.Errorf("transport: malformed shape frame (%d bytes)", len(payload))
+	}
+	shape := make([]int, len(payload)/4)
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return shape, nil
 }
 
 // MemConn is one endpoint of an in-memory duplex pipe.
@@ -147,6 +186,29 @@ func (m *MemConn) RecvBytes() ([]byte, error) {
 	return msg.raw, nil
 }
 
+// SendShape implements Conn.
+func (m *MemConn) SendShape(shape []int) error {
+	payload, err := encodeShape(shape)
+	if err != nil {
+		return err
+	}
+	m.c.add(len(payload))
+	m.send <- message{kind: 's', raw: payload}
+	return nil
+}
+
+// RecvShape implements Conn.
+func (m *MemConn) RecvShape() ([]int, error) {
+	msg, ok := <-m.recv
+	if !ok {
+		return nil, io.EOF
+	}
+	if msg.kind != 's' {
+		return nil, fmt.Errorf("transport: expected shape frame, got %q", msg.kind)
+	}
+	return decodeShape(msg.raw)
+}
+
 // Stats implements Conn.
 func (m *MemConn) Stats() Stats { return m.c.stats() }
 
@@ -206,6 +268,12 @@ func (t *TCPConn) writeFrame(kind byte, payload []byte) error {
 	return nil
 }
 
+// maxFrameBytes bounds a data frame's payload so a corrupted or hostile
+// header cannot force a giant allocation before any content validation
+// runs. The largest legitimate frames are weight-share transfers, well
+// under this.
+const maxFrameBytes = 1 << 30
+
 func (t *TCPConn) readFrame(wantKind byte) ([]byte, error) {
 	if _, err := io.ReadFull(t.nc, t.buf[:]); err != nil {
 		return nil, err
@@ -214,6 +282,15 @@ func (t *TCPConn) readFrame(wantKind byte) ([]byte, error) {
 		return nil, fmt.Errorf("transport: expected frame kind %q, got %q", wantKind, t.buf[0])
 	}
 	n := binary.LittleEndian.Uint32(t.buf[1:])
+	// Enforce the cap before allocating: shape frames are tiny by
+	// definition, data frames are bounded by maxFrameBytes.
+	limit := uint32(maxFrameBytes)
+	if wantKind == 's' {
+		limit = 4 * shapeDims
+	}
+	if n > limit {
+		return nil, fmt.Errorf("transport: frame kind %q payload %d exceeds limit %d", wantKind, n, limit)
+	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(t.nc, payload); err != nil {
 		return nil, err
@@ -271,6 +348,24 @@ func (t *TCPConn) SendBytes(b []byte) error { return t.writeFrame('b', b) }
 // RecvBytes implements Conn.
 func (t *TCPConn) RecvBytes() ([]byte, error) { return t.readFrame('b') }
 
+// SendShape implements Conn.
+func (t *TCPConn) SendShape(shape []int) error {
+	payload, err := encodeShape(shape)
+	if err != nil {
+		return err
+	}
+	return t.writeFrame('s', payload)
+}
+
+// RecvShape implements Conn.
+func (t *TCPConn) RecvShape() ([]int, error) {
+	payload, err := t.readFrame('s')
+	if err != nil {
+		return nil, err
+	}
+	return decodeShape(payload)
+}
+
 // Stats implements Conn.
 func (t *TCPConn) Stats() Stats { return t.c.stats() }
 
@@ -284,6 +379,22 @@ func Exchange(c Conn, mine []uint64) ([]uint64, error) {
 	errc := make(chan error, 1)
 	go func() { errc <- c.SendUint64s(mine) }()
 	theirs, err := c.RecvUint64s()
+	if sendErr := <-errc; sendErr != nil {
+		return nil, fmt.Errorf("transport: exchange send: %w", sendErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: exchange recv: %w", err)
+	}
+	return theirs, nil
+}
+
+// ExchangeShapes is Exchange for shape control frames: each party sends its
+// view of the tensor geometry and receives the peer's, letting both sides
+// validate agreement before any protocol data flows.
+func ExchangeShapes(c Conn, mine []int) ([]int, error) {
+	errc := make(chan error, 1)
+	go func() { errc <- c.SendShape(mine) }()
+	theirs, err := c.RecvShape()
 	if sendErr := <-errc; sendErr != nil {
 		return nil, fmt.Errorf("transport: exchange send: %w", sendErr)
 	}

@@ -39,6 +39,77 @@ func TestMemPipeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMemPipeShapeFrames(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := a.SendShape([]int{4, 3, 16, 16}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.RecvShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != 4 || got[3] != 16 {
+		t.Fatalf("shape %v", got)
+	}
+	// Empty shape (the end-of-session sentinel) round-trips too.
+	if err := b.SendShape(nil); err != nil {
+		t.Fatal(err)
+	}
+	empty, err := a.RecvShape()
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty shape: %v err %v", empty, err)
+	}
+	// A shape frame must not satisfy a data receive, and vice versa.
+	if err := a.SendShape([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RecvUint64s(); err == nil {
+		t.Fatal("shape frame accepted as uint64 data")
+	}
+	if err := a.SendUint64s([]uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RecvShape(); err == nil {
+		t.Fatal("uint64 frame accepted as shape")
+	}
+}
+
+func TestShapeFrameLimits(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := a.SendShape(make([]int, shapeDims+1)); err == nil {
+		t.Fatal("oversized shape rank must be rejected")
+	}
+	if err := a.SendShape([]int{-1}); err == nil {
+		t.Fatal("negative dim must be rejected")
+	}
+}
+
+func TestExchangeShapesSymmetric(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan []int, 1)
+	go func() {
+		got, err := ExchangeShapes(b, []int{2, 3})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- got
+	}()
+	got, err := ExchangeShapes(a, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := <-done
+	if len(got) != 2 || got[0] != 2 || len(other) != 2 || other[0] != 0 {
+		t.Fatalf("exchange shapes wrong: %v %v", got, other)
+	}
+}
+
 func TestMemPipeCopiesPayload(t *testing.T) {
 	a, b := Pipe()
 	defer a.Close()
@@ -185,6 +256,13 @@ func TestTCPTransport(t *testing.T) {
 	bs, err := server.RecvBytes()
 	if err != nil || string(bs) != "abc" {
 		t.Fatalf("tcp bytes: %q %v", bs, err)
+	}
+	if err := clientT.SendShape([]int{8, 3, 32, 32}); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := server.RecvShape()
+	if err != nil || len(sh) != 4 || sh[0] != 8 || sh[3] != 32 {
+		t.Fatalf("tcp shape: %v %v", sh, err)
 	}
 	// Exchange across TCP must not deadlock.
 	var wg sync.WaitGroup
