@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pasnet/internal/dataset"
+	"pasnet/internal/hwmodel"
+	"pasnet/internal/models"
+	"pasnet/internal/nas"
+)
+
+// benchBackbone is the demo backbone shared by the 2PC pipeline
+// trajectories (pibatch, offline).
+const benchBackbone = "resnet18"
+
+// benchDemoModel validates the benchjson directory and deterministically
+// trains the small demo model shared by the pibatch and offline
+// trajectories, so the two benchmarks measure the same workload.
+func benchDemoModel(jsonDir string) (*models.Model, *dataset.Dataset, hwmodel.Config, error) {
+	if jsonDir != "" {
+		if st, err := os.Stat(jsonDir); err != nil {
+			return nil, nil, hwmodel.Config{}, fmt.Errorf("benchjson dir: %w", err)
+		} else if !st.IsDir() {
+			return nil, nil, hwmodel.Config{}, fmt.Errorf("benchjson target %s is not a directory", jsonDir)
+		}
+	}
+	cfg := models.CIFARConfig(0.0625, 3)
+	cfg.InputHW = 8
+	cfg.NumClasses = 4
+	cfg.Act = models.ActX2
+	m, err := models.ByName(benchBackbone, cfg)
+	if err != nil {
+		return nil, nil, hwmodel.Config{}, err
+	}
+	d := dataset.Synthetic(dataset.SynthConfig{
+		N: 64, Classes: 4, C: 3, HW: 8, LatentDim: 8,
+		TeacherHidden: 16, TeacherDepth: 2, Noise: 0.1, Seed: 9,
+	})
+	opts := nas.DefaultTrainOptions()
+	opts.Steps = 20
+	opts.BatchSize = 8
+	if _, err := nas.TrainModel(m, d, d, opts); err != nil {
+		return nil, nil, hwmodel.Config{}, err
+	}
+	return m, d, hwmodel.DefaultConfig(), nil
+}

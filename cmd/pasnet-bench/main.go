@@ -12,6 +12,7 @@
 //	pasnet-bench -exhibit ablation
 //	pasnet-bench -exhibit kernel -benchjson .   # naive-vs-lowered kernel timings → BENCH_kernel.json
 //	pasnet-bench -exhibit pibatch -benchjson .  # batched 2PC amortization → BENCH_pibatch.json
+//	pasnet-bench -exhibit offline -benchjson .  # offline/online split online-only latency → BENCH_offline.json
 package main
 
 import (
@@ -25,10 +26,10 @@ import (
 )
 
 func main() {
-	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation|kernel|pibatch")
+	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation|kernel|pibatch|offline")
 	profile := flag.String("profile", "quick", "experiment scale: quick|full")
 	accuracy := flag.Bool("accuracy", false, "table1: also train synthetic-accuracy column")
-	benchJSON := flag.String("benchjson", "", "kernel/pibatch: directory to write the BENCH_*.json file into (empty: stdout only)")
+	benchJSON := flag.String("benchjson", "", "kernel/pibatch/offline: directory to write the BENCH_*.json file into (empty: stdout only)")
 	flag.Parse()
 
 	var p experiments.Profile
@@ -120,6 +121,8 @@ func main() {
 		exitOn(kernelBench(*benchJSON))
 	case "pibatch":
 		exitOn(pibatchBench(*benchJSON))
+	case "offline":
+		exitOn(offlineBench(*benchJSON))
 	case "ablation":
 		rows, err := experiments.DARTSOrderAblation(p, hw)
 		exitOn(err)

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"pasnet/internal/kernel"
+	"pasnet/internal/pi"
+	"pasnet/internal/tensor"
+)
+
+// offlineResult compares one batch size's online cost across the two
+// correlation sourcing paths.
+type offlineResult struct {
+	K int `json:"k"`
+	// LiveOnlineMSPerQuery is the PR 2 baseline: lazy dealer generation
+	// inside the measured online path.
+	LiveOnlineMSPerQuery float64 `json:"live_online_ms_per_query"`
+	// StoreOnlineMSPerQuery is the deployment split: the online phase only
+	// replays preprocessed correlations.
+	StoreOnlineMSPerQuery float64 `json:"store_online_ms_per_query"`
+	// OfflineMSTotal is the preprocessing cost (demand trace + store
+	// generation) paid outside the online path.
+	OfflineMSTotal float64 `json:"offline_ms_total"`
+	// OnlineSpeedup is Live/Store per-query online time.
+	OnlineSpeedup       float64 `json:"online_speedup"`
+	OnlineBytesPerQuery int64   `json:"online_bytes_per_query"`
+	Reps                int     `json:"reps"`
+}
+
+// offlineReport is the BENCH_offline.json schema: the perf-trajectory
+// file recording what the offline/online phase split buys (online-only
+// ms/query with a preprocessed correlation store vs the live-dealer
+// baseline, by batch size).
+type offlineReport struct {
+	GeneratedUnix int64           `json:"generated_unix"`
+	Workers       int             `json:"workers"`
+	Backbone      string          `json:"backbone"`
+	Results       []offlineResult `json:"results"`
+	// OnlineSpeedupPerQuery maps "kN" to the live/store per-query online
+	// time ratio at batch size N.
+	OnlineSpeedupPerQuery map[string]float64 `json:"online_speedup_per_query"`
+}
+
+// offlineBench measures the offline/online split: for K=1, 4, 16 it runs
+// the batched pipeline on the live dealer and on a preprocessed store
+// (same seed, so outputs are bit-identical) and records the online-only
+// amortized ms/query of each, taking the fastest of several repetitions
+// per path so a noisy runner cannot manufacture a phantom regression.
+func offlineBench(jsonDir string) error {
+	m, d, hw, err := benchDemoModel(jsonDir)
+	if err != nil {
+		return err
+	}
+
+	rep := offlineReport{
+		GeneratedUnix:         time.Now().Unix(),
+		Workers:               kernel.Workers(),
+		Backbone:              benchBackbone,
+		OnlineSpeedupPerQuery: map[string]float64{},
+	}
+	fmt.Printf("Offline/online phase split (workers=%d, %s):\n", kernel.Workers(), benchBackbone)
+	fmt.Printf("  %4s %18s %18s %14s %10s\n", "K", "live ms/query", "store ms/query", "offline ms", "speedup")
+	for _, k := range []int{1, 4, 16} {
+		queries := make([]*tensor.Tensor, k)
+		for i := range queries {
+			x, _ := d.Batch([]int{i % d.Len()})
+			queries[i] = x
+		}
+		reps := 3 + 32/k
+		best := offlineResult{K: k, Reps: reps}
+		for r := 0; r < reps; r++ {
+			seed := uint64(17 + 13*r)
+			live, err := pi.RunBatch(m, hw, queries, seed)
+			if err != nil {
+				return fmt.Errorf("offline K=%d live: %w", k, err)
+			}
+			pre, err := pi.RunBatchOpt(m, hw, queries, seed, pi.RunOptions{Preprocess: true})
+			if err != nil {
+				return fmt.Errorf("offline K=%d store: %w", k, err)
+			}
+			// The store replays the live dealer stream, so the two paths
+			// must agree bit-for-bit — a free end-to-end check every run.
+			for i := range live.Output {
+				if live.Output[i] != pre.Output[i] {
+					return fmt.Errorf("offline K=%d rep %d: store-fed logit %d diverged from live path", k, r, i)
+				}
+			}
+			liveMS := live.OnlineSecondsPerQuery * 1e3
+			preMS := pre.OnlineSecondsPerQuery * 1e3
+			if best.LiveOnlineMSPerQuery == 0 || liveMS < best.LiveOnlineMSPerQuery {
+				best.LiveOnlineMSPerQuery = liveMS
+			}
+			if best.StoreOnlineMSPerQuery == 0 || preMS < best.StoreOnlineMSPerQuery {
+				best.StoreOnlineMSPerQuery = preMS
+			}
+			if best.OfflineMSTotal == 0 || pre.OfflineSeconds*1e3 < best.OfflineMSTotal {
+				best.OfflineMSTotal = pre.OfflineSeconds * 1e3
+			}
+			best.OnlineBytesPerQuery = pre.OnlineBytesPerQuery
+		}
+		best.OnlineSpeedup = best.LiveOnlineMSPerQuery / best.StoreOnlineMSPerQuery
+		rep.Results = append(rep.Results, best)
+		rep.OnlineSpeedupPerQuery[fmt.Sprintf("k%d", k)] = best.OnlineSpeedup
+		fmt.Printf("  %4d %18.3f %18.3f %14.2f %9.2fx\n",
+			k, best.LiveOnlineMSPerQuery, best.StoreOnlineMSPerQuery, best.OfflineMSTotal, best.OnlineSpeedup)
+	}
+
+	if jsonDir != "" {
+		path := filepath.Join(jsonDir, "BENCH_offline.json")
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", path)
+	}
+	return nil
+}

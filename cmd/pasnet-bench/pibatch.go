@@ -7,11 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
-	"pasnet/internal/dataset"
-	"pasnet/internal/hwmodel"
 	"pasnet/internal/kernel"
-	"pasnet/internal/models"
-	"pasnet/internal/nas"
 	"pasnet/internal/pi"
 	"pasnet/internal/tensor"
 )
@@ -48,42 +44,19 @@ type pibatchReport struct {
 // fastest of several repetitions so a noisy runner cannot manufacture a
 // phantom regression; bytes are deterministic.
 func pibatchBench(jsonDir string) error {
-	if jsonDir != "" {
-		if st, err := os.Stat(jsonDir); err != nil {
-			return fmt.Errorf("benchjson dir: %w", err)
-		} else if !st.IsDir() {
-			return fmt.Errorf("benchjson target %s is not a directory", jsonDir)
-		}
-	}
-	const backbone = "resnet18"
-	cfg := models.CIFARConfig(0.0625, 3)
-	cfg.InputHW = 8
-	cfg.NumClasses = 4
-	cfg.Act = models.ActX2
-	m, err := models.ByName(backbone, cfg)
+	m, d, hw, err := benchDemoModel(jsonDir)
 	if err != nil {
 		return err
 	}
-	d := dataset.Synthetic(dataset.SynthConfig{
-		N: 64, Classes: 4, C: 3, HW: 8, LatentDim: 8,
-		TeacherHidden: 16, TeacherDepth: 2, Noise: 0.1, Seed: 9,
-	})
-	opts := nas.DefaultTrainOptions()
-	opts.Steps = 20
-	opts.BatchSize = 8
-	if _, err := nas.TrainModel(m, d, d, opts); err != nil {
-		return err
-	}
-	hw := hwmodel.DefaultConfig()
 
 	rep := pibatchReport{
 		GeneratedUnix:      time.Now().Unix(),
 		Workers:            kernel.Workers(),
-		Backbone:           backbone,
+		Backbone:           benchBackbone,
 		SpeedupMSPerQuery:  map[string]float64{},
 		BytesRatioPerQuery: map[string]float64{},
 	}
-	fmt.Printf("Batched 2PC inference (workers=%d, %s):\n", kernel.Workers(), backbone)
+	fmt.Printf("Batched 2PC inference (workers=%d, %s):\n", kernel.Workers(), benchBackbone)
 	fmt.Printf("  %4s %16s %16s %18s\n", "K", "online ms", "ms/query", "bytes/query")
 	var base pibatchResult
 	for _, k := range []int{1, 4, 16} {

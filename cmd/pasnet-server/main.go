@@ -16,6 +16,20 @@
 // and reused across every batched flush. Running party 1 without
 // -client-listen instead evaluates -queries local queries through the same
 // batcher (the in-process multi-query mode).
+//
+// The offline/online deployment split runs as a separate role:
+//
+//	pasnet-server -party preprocess -store ./stores -batches 1,2,4,8 -flushes 8
+//
+// writes both parties' correlation store files per batch geometry; the
+// computing parties then add `-store ./stores` and their measured online
+// phase only replays preprocessed material. A flush whose geometry was
+// never preprocessed degrades to the live dealer on both sides (counted
+// and reported at shutdown); an exhausted or wrong-run store fails with a
+// descriptive error on both sides. Note a flush's geometry is the row
+// *sum* of the packed queries — up to -batch requests of up to -batch
+// rows each — so preprocess the sums your query mix actually produces
+// (single-row clients yield sums 1..-batch).
 package main
 
 import (
@@ -24,6 +38,8 @@ import (
 	"math"
 	"net"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,7 +53,7 @@ import (
 	"pasnet/internal/transport"
 )
 
-// config collects the command-line options of all three roles.
+// config collects the command-line options of all four roles.
 type config struct {
 	party         string
 	listen        string
@@ -50,6 +66,13 @@ type config struct {
 	window        time.Duration
 	queries       int
 	clients       int
+	// store is the preprocessed-correlation directory: the preprocess role
+	// writes store files there; parties 0/1 load them at serve time.
+	store string
+	// flushes and batches shape the preprocess role's output: how many
+	// evaluations per geometry, at which batch sizes.
+	flushes int
+	batches string
 }
 
 func main() {
@@ -65,6 +88,9 @@ func main() {
 	flag.DurationVar(&cfg.window, "window", 50*time.Millisecond, "party 1: max wait before flushing a partial batch")
 	flag.IntVar(&cfg.queries, "queries", 4, "queries to submit (party 1 local mode, or client mode)")
 	flag.IntVar(&cfg.clients, "clients", 1, "party 1: client connections to serve before shutting down")
+	flag.StringVar(&cfg.store, "store", "", "preprocessed correlation store directory (preprocess role writes it; parties 0/1 serve from it)")
+	flag.IntVar(&cfg.flushes, "flushes", 8, "preprocess: evaluations to preprocess per batch geometry")
+	flag.StringVar(&cfg.batches, "batches", "1,2,4,8", "preprocess: comma-separated batch sizes to preprocess")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pasnet-server:", err)
@@ -113,9 +139,77 @@ func run(cfg config) error {
 		return runFrontend(cfg)
 	case "client":
 		return runClient(cfg)
+	case "preprocess":
+		return runPreprocess(cfg)
 	default:
-		return fmt.Errorf("unknown -party %q (want 0, 1 or client)", cfg.party)
+		return fmt.Errorf("unknown -party %q (want 0, 1, client or preprocess)", cfg.party)
 	}
+}
+
+// runPreprocess is the offline phase as its own role: it traces the
+// model's correlation demand per batch geometry and writes both parties'
+// store files into -store, each covering -flushes evaluations. The two
+// computing parties then serve with `-store <dir>` and their measured
+// online phase never generates a correlation.
+func runPreprocess(cfg config) error {
+	if cfg.store == "" {
+		return fmt.Errorf("preprocess role needs -store <dir>")
+	}
+	if err := os.MkdirAll(cfg.store, 0o755); err != nil {
+		return err
+	}
+	batches, err := parseBatchSizes(cfg.batches)
+	if err != nil {
+		return err
+	}
+	d := buildDataset(cfg.seed)
+	m, err := buildModel(cfg.backbone, cfg.seed, d)
+	if err != nil {
+		return err
+	}
+	prog, err := pi.Compile(m.Net)
+	if err != nil {
+		return err
+	}
+	shapes := make([][]int, len(batches))
+	for i, k := range batches {
+		shapes[i] = []int{k, 3, inputHW, inputHW}
+	}
+	start := time.Now()
+	paths, err := pi.WriteStores(prog, cfg.seed, shapes, cfg.flushes, cfg.store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("preprocessed %d flushes for batch sizes %v in %.1f ms:\n",
+		cfg.flushes, batches, time.Since(start).Seconds()*1e3)
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s (%.1f KB)\n", p, float64(st.Size())/1e3)
+	}
+	return nil
+}
+
+// parseBatchSizes parses the -batches list.
+func parseBatchSizes(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		k, err := strconv.Atoi(f)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad batch size %q in -batches", f)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-batches named no batch sizes")
+	}
+	return out, nil
 }
 
 // runVendor is party 0: it shares the model once, then serves batched
@@ -138,11 +232,18 @@ func runVendor(cfg config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.store != "" {
+		sess.UsePreprocessed(pi.NewDirProvider(cfg.store))
+		fmt.Println("party 0: serving from preprocessed correlation stores in", cfg.store)
+	}
 	fmt.Println("party 0: model shared, serving batched evaluations")
 	if err := sess.Serve(); err != nil {
 		return err
 	}
 	fmt.Printf("party 0: session closed; traffic sent: %d bytes\n", conn.Stats().BytesSent)
+	if n := sess.Fallbacks(); n > 0 {
+		fmt.Printf("party 0: %d flush(es) fell back to the live dealer (geometry not preprocessed)\n", n)
+	}
 	return nil
 }
 
@@ -165,6 +266,10 @@ func runFrontend(cfg config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.store != "" {
+		sess.UsePreprocessed(pi.NewDirProvider(cfg.store))
+		fmt.Println("party 1: serving from preprocessed correlation stores in", cfg.store)
+	}
 	fmt.Printf("party 1: model shared, batching up to %d queries per %v window\n", cfg.batch, cfg.window)
 	flushes := 0
 	batcher := pi.NewBatcher(cfg.batch, cfg.window, func(b *tensor.Tensor) ([]float64, error) {
@@ -186,6 +291,9 @@ func runFrontend(cfg config) error {
 		return err
 	}
 	fmt.Printf("party 1: done after %d flushes; traffic sent: %d bytes\n", flushes, conn.Stats().BytesSent)
+	if n := sess.Fallbacks(); n > 0 {
+		fmt.Printf("party 1: %d flush(es) fell back to the live dealer (geometry not preprocessed)\n", n)
+	}
 	return serveErr
 }
 

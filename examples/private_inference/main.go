@@ -73,4 +73,22 @@ func main() {
 	fmt.Printf("amortized online cost: %.2f KB and %.2f ms per query (batch total %.2f KB, %.2f ms)\n",
 		float64(batch.OnlineBytesPerQuery)/1e3, batch.OnlineSecondsPerQuery*1e3,
 		float64(batch.OnlineBytes)/1e3, batch.OnlineSeconds*1e3)
+
+	// 4. The deployment split: preprocess the batch geometry's correlation
+	// demand offline, then run an online phase that only replays the
+	// store. The store generator replays the dealer stream exactly, so the
+	// logits are bit-identical to step 3 — only the clock placement moves.
+	pre, err := pi.RunBatchOpt(m, fw.HW, queries, 16, pi.RunOptions{Preprocess: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range batch.Output {
+		if pre.Output[i] != batch.Output[i] {
+			log.Fatalf("preprocessed logits diverged from the live-dealer run at %d", i)
+		}
+	}
+	fmt.Printf("\noffline/online split: %.2f ms offline (trace + store generation), %.2f ms/query online-only\n",
+		pre.OfflineSeconds*1e3, pre.OnlineSecondsPerQuery*1e3)
+	fmt.Printf("online-only speedup over the live-dealer path: %.2fx per query, bit-identical logits\n",
+		batch.OnlineSecondsPerQuery/pre.OnlineSecondsPerQuery)
 }

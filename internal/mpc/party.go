@@ -17,8 +17,14 @@ type Party struct {
 	ID int
 	// Conn is the channel to the peer.
 	Conn transport.Conn
-	// Dealer supplies this party's halves of offline correlations.
+	// Dealer is the live correlation generator constructed from the shared
+	// seed. It is the default Source.
 	Dealer *Dealer
+	// Source supplies this party's halves of offline correlations. It
+	// defaults to Dealer (lazy generation inside the online path); the
+	// deployment split swaps in a preprocessed store (internal/corr)
+	// without touching any op code. Nil falls back to Dealer.
+	Source CorrelationSource
 	// Codec fixes the fixed-point precision for truncation.
 	Codec fixed.Codec64
 	// Rand is this party's private randomness (masks, OT secrets).
@@ -50,13 +56,24 @@ func NewParty(id int, conn transport.Conn, dealerSeed, privSeed uint64, codec fi
 	if id != 0 && id != 1 {
 		panic(fmt.Sprintf("mpc: party id must be 0 or 1, got %d", id))
 	}
+	d := NewDealer(dealerSeed, id)
 	return &Party{
 		ID:     id,
 		Conn:   conn,
-		Dealer: NewDealer(dealerSeed, id),
+		Dealer: d,
+		Source: d,
 		Codec:  codec,
 		Rand:   rng.New(privSeed),
 	}
+}
+
+// corr returns the active correlation source, defaulting to the live
+// dealer when none was installed.
+func (p *Party) corr() CorrelationSource {
+	if p.Source != nil {
+		return p.Source
+	}
+	return p.Dealer
 }
 
 // Other returns the peer's ID.
@@ -213,7 +230,10 @@ func (p *Party) MulHadamardRaw(x, y Share) (Share, error) {
 	if x.Len() != y.Len() {
 		return Share{}, fmt.Errorf("mpc: hadamard size mismatch %v vs %v", x.Shape, y.Shape)
 	}
-	a, b, z := p.Dealer.HadamardTriple(x.Len())
+	a, b, z, err := p.corr().TakeHadamard(x.Len())
+	if err != nil {
+		return Share{}, fmt.Errorf("mpc: hadamard triple: %w", err)
+	}
 	e, f, err := p.openPair(x.V, a, y.V, b)
 	if err != nil {
 		return Share{}, fmt.Errorf("mpc: hadamard open: %w", err)
@@ -237,7 +257,10 @@ func (p *Party) MulHadamard(x, y Share) (Share, error) {
 // square pair: R_i = Z_i + 2E∘A_i + i·E∘E with E = rec(x − a) (paper Eq. 3,
 // with the E² term charged to one party so it is counted once).
 func (p *Party) Square(x Share) (Share, error) {
-	a, z := p.Dealer.SquarePair(x.Len())
+	a, z, err := p.corr().TakeSquare(x.Len())
+	if err != nil {
+		return Share{}, fmt.Errorf("mpc: square pair: %w", err)
+	}
 	mine := grow(&p.scr.mine, x.Len())
 	ringSub(mine, x.V, a)
 	theirs, err := transport.Exchange(p.Conn, mine)
@@ -266,7 +289,10 @@ func (p *Party) MatMul(x, y Share) (Share, error) {
 		return Share{}, fmt.Errorf("mpc: matmul shapes %v x %v", x.Shape, y.Shape)
 	}
 	m, k, n := x.Shape[0], x.Shape[1], y.Shape[1]
-	a, b, z := p.Dealer.MatMulTriple(m, k, n)
+	a, b, z, err := p.corr().TakeMatMul(m, k, n)
+	if err != nil {
+		return Share{}, fmt.Errorf("mpc: matmul triple: %w", err)
+	}
 	e, f, err := p.openPairUneven(x.V, a, y.V, b)
 	if err != nil {
 		return Share{}, fmt.Errorf("mpc: matmul open: %w", err)
@@ -286,7 +312,10 @@ func (p *Party) Conv2D(x, w Share, dims ConvDims) (Share, error) {
 		return Share{}, fmt.Errorf("mpc: conv dims mismatch: x %d vs %d, w %d vs %d",
 			x.Len(), dims.InLen(), w.Len(), dims.KLen())
 	}
-	a, b, z := p.Dealer.ConvTriple(dims)
+	a, b, z, err := p.corr().TakeConv(dims)
+	if err != nil {
+		return Share{}, fmt.Errorf("mpc: conv triple: %w", err)
+	}
 	e, f, err := p.openPairUneven(x.V, a, w.V, b)
 	if err != nil {
 		return Share{}, fmt.Errorf("mpc: conv open: %w", err)
@@ -329,7 +358,10 @@ func (p *Party) bitAnd(a, b BitShare) (BitShare, error) {
 	if len(b) != n {
 		return nil, fmt.Errorf("mpc: bitAnd size mismatch %d vs %d", n, len(b))
 	}
-	ta, tb, tc := p.Dealer.BitTriples(n)
+	ta, tb, tc, err := p.corr().TakeBits(n)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: bit triples: %w", err)
+	}
 	mine := make([]byte, 2*n)
 	for i := 0; i < n; i++ {
 		mine[i] = a[i] ^ ta[i]

@@ -1,8 +1,10 @@
 package pi
 
 import (
+	"errors"
 	"fmt"
 
+	"pasnet/internal/corr"
 	"pasnet/internal/models"
 	"pasnet/internal/mpc"
 	"pasnet/internal/tensor"
@@ -227,6 +229,108 @@ type Session struct {
 	// expect is party 0's declared query geometry (index 0 zero = any
 	// batch size). Party 1 leaves it nil.
 	expect []int
+	// provider, when set, supplies a preprocessed correlation source per
+	// flush geometry; nil keeps the live dealer.
+	provider SourceProvider
+	// fallbacks counts flushes degraded to the live dealer because a
+	// provider could not resolve the flush geometry (see negotiateSource).
+	fallbacks int
+}
+
+// Fallbacks reports how many flushes ran on the live dealer because the
+// preprocessed source could not be resolved for their geometry.
+func (s *Session) Fallbacks() int { return s.fallbacks }
+
+// UsePreprocessed installs a correlation source provider: before each
+// flush, the negotiated batch geometry is looked up and the returned
+// source (typically a corr.Store loaded from a preprocess run) replaces
+// the live dealer for that evaluation. Both parties of a deployment must
+// be provisioned from the same preprocess run, or both left on the live
+// dealer — a per-flush control round cross-checks this (see
+// negotiateSource), so inconsistent provisioning fails loudly instead of
+// silently corrupting every result.
+func (s *Session) UsePreprocessed(p SourceProvider) { s.provider = p }
+
+// negotiateSource is the per-flush correlation-source control round: each
+// party resolves its source for the negotiated geometry and the two
+// exchange a stamp — live dealer, store with its preprocess-run label and
+// remaining budget, or provider-failure. Mixed provisioning (store on one
+// side, dealer on the other; stores from different preprocess runs; torn
+// budgets) yields inconsistent correlation halves and silently wrong
+// logits if allowed to run, so a stamp mismatch fails both parties
+// symmetrically before any protocol data flows. A provider that cannot
+// resolve the flush geometry (e.g. a batcher row-sum nobody preprocessed)
+// is gentler: both parties agree via the stamp to degrade that one flush
+// to the live dealer instead of killing the deployment — sound, because
+// the parties' dealer streams advance only on flushes both run live, so
+// they stay lockstep across any store/dealer interleaving.
+func (s *Session) negotiateSource(shape []int) error {
+	var src mpc.CorrelationSource
+	var srcErr error
+	if s.provider != nil {
+		src, srcErr = s.provider.SourceFor(s.party.ID, shape)
+	}
+	// The stamp is exchanged even when the local provider failed (tag 2):
+	// the peer has already sent its stamp and is blocked in the receive,
+	// so bailing out before the exchange would hang it — the exact
+	// asymmetry this round exists to prevent.
+	// Tags: 0 live dealer, 1 store, 2 degradable miss (ErrNoStore),
+	// 3 hard provider failure (corrupt store, unreadable dir, ...).
+	mine := []int{0, 0, 0}
+	switch {
+	case srcErr != nil && errors.Is(srcErr, ErrNoStore):
+		mine[0] = 2
+	case srcErr != nil:
+		mine[0] = 3
+	case src != nil:
+		mine[0] = 1
+		if st, ok := src.(*corr.Store); ok {
+			mine[1] = int(st.Label())
+			mine[2] = st.Remaining()
+		}
+	}
+	theirs, err := transport.ExchangeShapes(s.party.Conn, mine)
+	if err != nil {
+		return fmt.Errorf("pi: correlation source negotiation: %w", err)
+	}
+	// Hard failures stay fatal on both sides: serving silently without
+	// the offline split would mask a real defect (a corrupt store file is
+	// not a capacity-planning gap).
+	if mine[0] == 3 {
+		return fmt.Errorf("pi: correlation source for geometry %v: %w", shape, srcErr)
+	}
+	if len(theirs) == 3 && theirs[0] == 3 {
+		return fmt.Errorf("pi: peer failed to resolve its correlation source for geometry %v", shape)
+	}
+	// A missing store on either side degrades this flush to the live
+	// dealer on both, symmetrically (a party that was already on the live
+	// dealer just stays there).
+	if mine[0] == 2 || (len(theirs) == 3 && theirs[0] == 2) {
+		s.party.Source = s.party.Dealer
+		s.fallbacks++
+		return nil
+	}
+	if len(theirs) != len(mine) || theirs[0] != mine[0] || theirs[1] != mine[1] || theirs[2] != mine[2] {
+		return fmt.Errorf("pi: correlation sources diverge: this party uses %s, peer uses %s — both parties must serve either from the live dealer or from stores of one preprocess run, in lockstep",
+			stampString(mine), stampString(theirs))
+	}
+	if src != nil {
+		s.party.Source = src
+	} else {
+		s.party.Source = s.party.Dealer
+	}
+	return nil
+}
+
+// stampString renders a source stamp for the divergence error.
+func stampString(v []int) string {
+	if len(v) != 3 {
+		return fmt.Sprintf("malformed stamp %v", v)
+	}
+	if v[0] == 0 {
+		return "the live dealer"
+	}
+	return fmt.Sprintf("a preprocessed store (run %08x, %d correlations left)", v[1], v[2])
 }
 
 // NewSession compiles the model and performs the one-time weight-sharing
@@ -259,6 +363,9 @@ func (s *Session) Query(x *tensor.Tensor) ([]float64, error) {
 	if _, err := negotiateShape(s.party, x.Shape); err != nil {
 		return nil, err
 	}
+	if err := s.negotiateSource(x.Shape); err != nil {
+		return nil, err
+	}
 	xs, err := s.party.ShareInput(1, s.party.EncodeTensor(x.Data), x.Shape...)
 	if err != nil {
 		return nil, err
@@ -287,6 +394,9 @@ func (s *Session) ServeOne() (logits []float64, done bool, err error) {
 	}
 	if shape == nil {
 		return nil, true, nil
+	}
+	if err := s.negotiateSource(shape); err != nil {
+		return nil, false, err
 	}
 	xs, err := s.party.ShareInput(1, nil, shape...)
 	if err != nil {

@@ -71,6 +71,17 @@ func (e *Engine) setupProg(p *mpc.Party, prog *Program) error {
 	return nil
 }
 
+// UseSource installs a correlation source (e.g. a preprocessed
+// corr.Store) on the engine's party for subsequent Infer calls. Must be
+// called after Setup has bound the party.
+func (e *Engine) UseSource(src mpc.CorrelationSource) error {
+	if e.party == nil {
+		return fmt.Errorf("pi: engine not set up")
+	}
+	e.party.Source = src
+	return nil
+}
+
 // Infer runs the program on an input share and returns the output share.
 func (e *Engine) Infer(x mpc.Share) (mpc.Share, error) {
 	if e.party == nil {

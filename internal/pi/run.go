@@ -6,10 +6,12 @@ import (
 	"sync"
 	"time"
 
+	"pasnet/internal/corr"
 	"pasnet/internal/fixed"
 	"pasnet/internal/hwmodel"
 	"pasnet/internal/models"
 	"pasnet/internal/mpc"
+	"pasnet/internal/rng"
 	"pasnet/internal/tensor"
 	"pasnet/internal/transport"
 )
@@ -34,8 +36,19 @@ type Result struct {
 	SetupBytes int64
 	// OnlineSeconds is the wall-clock of the online phase: input sharing,
 	// every layer protocol, and output reconstruction, with both parties
-	// running concurrently. Weight-share setup is excluded.
+	// running concurrently. Weight-share setup is excluded. On the
+	// live-dealer path this still includes lazy correlation generation; on
+	// the preprocessed path it does not — that cost moves to
+	// OfflineSeconds, the split the paper's online latency numbers assume.
 	OnlineSeconds float64
+	// OfflineSeconds is the wall-clock of the preprocessing phase (demand
+	// trace plus correlation store generation) when RunOptions.Preprocess
+	// is set; 0 on the live-dealer path, where generation happens inline
+	// and is charged to OnlineSeconds.
+	OfflineSeconds float64
+	// Preprocessed reports whether the online phase consumed a
+	// preprocessed correlation store instead of the live dealer.
+	Preprocessed bool
 	// OnlineBytesPerQuery and OnlineSecondsPerQuery are the amortized
 	// per-query online costs, the figures of merit for batched serving.
 	OnlineBytesPerQuery   int64
@@ -45,11 +58,26 @@ type Result struct {
 	Modeled hwmodel.Cost
 }
 
+// RunOptions selects execution-phase behavior for Run/RunBatch variants.
+type RunOptions struct {
+	// Preprocess moves correlation generation into a measured offline
+	// phase: the demand tape is traced once for the batch geometry and
+	// both parties' stores are generated before the online clock starts.
+	// The store generator replays the dealer stream exactly, so outputs
+	// are bit-identical to the live-dealer path under the same seed.
+	Preprocess bool
+}
+
 // Run executes a full private inference of a trained model on input x
 // (N×C×H×W, party 1's query), with both parties in-process over an
 // in-memory transport. It verifies against plaintext evaluation. The N
 // rows of x count as N queries for the amortized metrics.
 func Run(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, seed uint64) (*Result, error) {
+	return RunOpt(m, hw, x, seed, RunOptions{})
+}
+
+// RunOpt is Run with explicit phase options.
+func RunOpt(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, seed uint64, opt RunOptions) (*Result, error) {
 	batch := 1
 	if len(x.Shape) > 0 {
 		batch = x.Shape[0]
@@ -58,7 +86,7 @@ func Run(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, seed uint64) (*Re
 	for i := range counts {
 		counts[i] = 1
 	}
-	return runPacked(m, hw, x, counts, seed)
+	return runPacked(m, hw, x, counts, seed, opt)
 }
 
 // RunBatch packs K independent queries into one N=K secure evaluation:
@@ -66,15 +94,20 @@ func Run(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, seed uint64) (*Re
 // it, runs once for the whole batch. Result.PerQuery holds each query's
 // logits; the amortized fields divide the batch's online cost evenly.
 func RunBatch(m *models.Model, hw hwmodel.Config, queries []*tensor.Tensor, seed uint64) (*Result, error) {
+	return RunBatchOpt(m, hw, queries, seed, RunOptions{})
+}
+
+// RunBatchOpt is RunBatch with explicit phase options.
+func RunBatchOpt(m *models.Model, hw hwmodel.Config, queries []*tensor.Tensor, seed uint64, opt RunOptions) (*Result, error) {
 	packed, counts, err := PackQueries(queries)
 	if err != nil {
 		return nil, err
 	}
-	return runPacked(m, hw, packed, counts, seed)
+	return runPacked(m, hw, packed, counts, seed, opt)
 }
 
 // runPacked is the shared two-party executor behind Run and RunBatch.
-func runPacked(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, counts []int, seed uint64) (*Result, error) {
+func runPacked(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, counts []int, seed uint64, opt RunOptions) (*Result, error) {
 	if m.Net == nil {
 		return nil, fmt.Errorf("pi: model %q has no trained network", m.Name)
 	}
@@ -83,6 +116,24 @@ func runPacked(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, counts []in
 		return nil, err
 	}
 	plain := m.Net.Forward(x, false)
+
+	// Offline phase: trace the correlation demand for this batch geometry
+	// and pre-generate both parties' stores off the same dealer stream the
+	// live path would consume lazily.
+	var stores [2]*corr.Store
+	var offlineSeconds float64
+	if opt.Preprocess {
+		offStart := time.Now()
+		tape, err := TraceTape(prog, x.Shape)
+		if err != nil {
+			return nil, err
+		}
+		stores[0], stores[1], err = corr.BuildPair(tape, rng.New(seed))
+		if err != nil {
+			return nil, err
+		}
+		offlineSeconds = time.Since(offStart).Seconds()
+	}
 
 	c0, c1 := transport.Pipe()
 	codec := fixed.Default64()
@@ -110,6 +161,9 @@ func runPacked(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, counts []in
 					errs[i] = fmt.Errorf("pi: party %d panicked: %v", i, r)
 				}
 			}()
+			if stores[i] != nil {
+				p.Source = stores[i]
+			}
 			eng := NewEngine(prog)
 			err := eng.Setup(p)
 			setupMu.Lock()
@@ -158,13 +212,15 @@ func runPacked(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, counts []in
 
 	batch := len(counts)
 	res := &Result{
-		Output:        outputs[0],
-		Plain:         append([]float64(nil), plain.Data...),
-		Batch:         batch,
-		SetupBytes:    setupBytes,
-		OnlineBytes:   totalBytes - setupBytes,
-		OnlineSeconds: onlineSeconds,
-		Modeled:       hwmodel.NetworkCost(hw, m.Ops),
+		Output:         outputs[0],
+		Plain:          append([]float64(nil), plain.Data...),
+		Batch:          batch,
+		SetupBytes:     setupBytes,
+		OnlineBytes:    totalBytes - setupBytes,
+		OnlineSeconds:  onlineSeconds,
+		OfflineSeconds: offlineSeconds,
+		Preprocessed:   opt.Preprocess,
+		Modeled:        hwmodel.NetworkCost(hw, m.Ops),
 	}
 	if batch > 0 {
 		res.OnlineBytesPerQuery = res.OnlineBytes / int64(batch)

@@ -50,6 +50,23 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// MixSeed derives a child seed by folding the given values into a
+// SplitMix64 stream started from seed. It is the stable seed-derivation
+// helper for keyed streams (e.g. one dealer stream per batch geometry):
+// deterministic, order-sensitive, and well-dispersed for near-equal keys.
+// Each step folds the fully-diffused previous output back into the state,
+// so permuting the values changes the result (a plain accumulator would
+// collide for any rank-and-sum-equal key pair).
+func MixSeed(seed uint64, vs ...uint64) uint64 {
+	state := seed
+	out := splitMix64(&state)
+	for _, v := range vs {
+		state ^= out + v
+		out = splitMix64(&state)
+	}
+	return out
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.
