@@ -14,33 +14,58 @@ import (
 // trajectories (pibatch, offline).
 const benchBackbone = "resnet18"
 
-// benchDemoModel validates the benchjson directory and deterministically
-// trains the small demo model shared by the pibatch and offline
-// trajectories, so the two benchmarks measure the same workload.
-func benchDemoModel(jsonDir string) (*models.Model, *dataset.Dataset, hwmodel.Config, error) {
-	if jsonDir != "" {
-		if st, err := os.Stat(jsonDir); err != nil {
-			return nil, nil, hwmodel.Config{}, fmt.Errorf("benchjson dir: %w", err)
-		} else if !st.IsDir() {
-			return nil, nil, hwmodel.Config{}, fmt.Errorf("benchjson target %s is not a directory", jsonDir)
-		}
+// benchDemoHW is the demo models' spatial size.
+const benchDemoHW = 8
+
+// checkBenchDir validates the benchjson directory.
+func checkBenchDir(jsonDir string) error {
+	if jsonDir == "" {
+		return nil
 	}
+	st, err := os.Stat(jsonDir)
+	if err != nil {
+		return fmt.Errorf("benchjson dir: %w", err)
+	}
+	if !st.IsDir() {
+		return fmt.Errorf("benchjson target %s is not a directory", jsonDir)
+	}
+	return nil
+}
+
+// trainDemoBackbone deterministically trains one small demo backbone on
+// the shared synthetic task, so every 2PC trajectory (pibatch, offline,
+// shard) measures comparable workloads.
+func trainDemoBackbone(name string) (*models.Model, *dataset.Dataset, error) {
 	cfg := models.CIFARConfig(0.0625, 3)
-	cfg.InputHW = 8
+	cfg.InputHW = benchDemoHW
 	cfg.NumClasses = 4
 	cfg.Act = models.ActX2
-	m, err := models.ByName(benchBackbone, cfg)
+	m, err := models.ByName(name, cfg)
 	if err != nil {
-		return nil, nil, hwmodel.Config{}, err
+		return nil, nil, err
 	}
 	d := dataset.Synthetic(dataset.SynthConfig{
-		N: 64, Classes: 4, C: 3, HW: 8, LatentDim: 8,
+		N: 64, Classes: 4, C: 3, HW: benchDemoHW, LatentDim: 8,
 		TeacherHidden: 16, TeacherDepth: 2, Noise: 0.1, Seed: 9,
 	})
 	opts := nas.DefaultTrainOptions()
 	opts.Steps = 20
 	opts.BatchSize = 8
 	if _, err := nas.TrainModel(m, d, d, opts); err != nil {
+		return nil, nil, err
+	}
+	return m, d, nil
+}
+
+// benchDemoModel validates the benchjson directory and deterministically
+// trains the small demo model shared by the pibatch and offline
+// trajectories, so the two benchmarks measure the same workload.
+func benchDemoModel(jsonDir string) (*models.Model, *dataset.Dataset, hwmodel.Config, error) {
+	if err := checkBenchDir(jsonDir); err != nil {
+		return nil, nil, hwmodel.Config{}, err
+	}
+	m, d, err := trainDemoBackbone(benchBackbone)
+	if err != nil {
 		return nil, nil, hwmodel.Config{}, err
 	}
 	return m, d, hwmodel.DefaultConfig(), nil

@@ -13,6 +13,7 @@
 //	pasnet-bench -exhibit kernel -benchjson .   # naive-vs-lowered kernel timings → BENCH_kernel.json
 //	pasnet-bench -exhibit pibatch -benchjson .  # batched 2PC amortization → BENCH_pibatch.json
 //	pasnet-bench -exhibit offline -benchjson .  # offline/online split online-only latency → BENCH_offline.json
+//	pasnet-bench -exhibit shard -benchjson .    # multi-model shard gateway amortization → BENCH_shard.json
 package main
 
 import (
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation|kernel|pibatch|offline")
+	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation|kernel|pibatch|offline|shard")
 	profile := flag.String("profile", "quick", "experiment scale: quick|full")
 	accuracy := flag.Bool("accuracy", false, "table1: also train synthetic-accuracy column")
 	benchJSON := flag.String("benchjson", "", "kernel/pibatch/offline: directory to write the BENCH_*.json file into (empty: stdout only)")
@@ -123,6 +124,8 @@ func main() {
 		exitOn(pibatchBench(*benchJSON))
 	case "offline":
 		exitOn(offlineBench(*benchJSON))
+	case "shard":
+		exitOn(shardBench(*benchJSON))
 	case "ablation":
 		rows, err := experiments.DARTSOrderAblation(p, hw)
 		exitOn(err)

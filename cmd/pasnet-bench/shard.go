@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pasnet/internal/gateway"
+	"pasnet/internal/kernel"
+	"pasnet/internal/tensor"
+)
+
+// shardBackbones are the two demo models the gateway trajectory serves
+// side by side, exercising genuine multi-model routing.
+var shardBackbones = []string{"resnet18", "mobilenetv2"}
+
+// shardResult is one (shard count, sourcing path) configuration's
+// amortized online cost, per model.
+type shardResult struct {
+	Model  string `json:"model"`
+	Shards int    `json:"shards"`
+	// QueriesPerModel concurrent queries were routed per model; the
+	// amortized figures divide the measured wall clock evenly.
+	QueriesPerModel int `json:"queries_per_model"`
+	// LiveOnlineMSPerQuery routes over live-dealer shard pairs.
+	LiveOnlineMSPerQuery float64 `json:"live_online_ms_per_query"`
+	// StoreOnlineMSPerQuery routes over store-fed shard pairs: the online
+	// path only replays each shard's own preprocessed store. The headline
+	// claim is that this stays below live and flat as shards grow — within
+	// noise of the 1-shard single-pair configuration — because per-shard
+	// store provisioning adds zero online-path cost.
+	StoreOnlineMSPerQuery float64 `json:"store_online_ms_per_query"`
+	// OfflineMSTotal is the per-shard store provisioning cost for this
+	// configuration (all models × shards) — the cost shard fan-out
+	// multiplies instead of online latency.
+	OfflineMSTotal float64 `json:"offline_ms_total"`
+	Reps           int     `json:"reps"`
+}
+
+// shardReport is the BENCH_shard.json schema: the perf-trajectory file
+// recording what multi-model shard routing buys (per-model amortized
+// online ms/query at 1/2/4 shards, store-fed vs live).
+type shardReport struct {
+	GeneratedUnix int64         `json:"generated_unix"`
+	Workers       int           `json:"workers"`
+	Models        []string      `json:"models"`
+	Results       []shardResult `json:"results"`
+	// StoreOnlineMSPerQuery maps "model_sN" to the store-fed online
+	// ms/query at N shards; the N=1 entry is the single-pair baseline the
+	// higher shard counts must stay within noise of.
+	StoreOnlineMSPerQuery map[string]float64 `json:"store_online_ms_per_query"`
+}
+
+// shardBench measures the multi-model gateway: for 1, 2 and 4 shards per
+// model it routes a fixed concurrent query load for two models through
+// the router — once over live-dealer shard pairs, once over store-fed
+// ones (each shard replaying its own preprocessed store) — and records
+// the amortized online ms/query of each path, taking the fastest of
+// several repetitions so a noisy runner cannot manufacture a phantom
+// regression. Session setup and store provisioning stay off the clock;
+// provisioning cost is reported separately as the offline total.
+func shardBench(jsonDir string) error {
+	if err := checkBenchDir(jsonDir); err != nil {
+		return err
+	}
+	specs := map[string]*gateway.ModelSpec{}
+	var queries []*tensor.Tensor
+	const perModel = 8
+	for _, name := range shardBackbones {
+		m, d, err := trainDemoBackbone(name)
+		if err != nil {
+			return err
+		}
+		specs[name] = &gateway.ModelSpec{ID: name, Model: m, Input: []int{3, benchDemoHW, benchDemoHW}}
+		if queries == nil {
+			for i := 0; i < perModel; i++ {
+				x, _ := d.Batch([]int{i % d.Len()})
+				queries = append(queries, x)
+			}
+		}
+	}
+
+	rep := shardReport{
+		GeneratedUnix:         time.Now().Unix(),
+		Workers:               kernel.Workers(),
+		Models:                shardBackbones,
+		StoreOnlineMSPerQuery: map[string]float64{},
+	}
+	fmt.Printf("Multi-model shard gateway (workers=%d, %d queries/model):\n", kernel.Workers(), perModel)
+	fmt.Printf("  %-14s %7s %18s %18s %14s\n", "model", "shards", "live ms/query", "store ms/query", "offline ms")
+	for _, shards := range []int{1, 2, 4} {
+		const reps = 3
+		best := map[string]*shardResult{}
+		for _, name := range shardBackbones {
+			best[name] = &shardResult{Model: name, Shards: shards, QueriesPerModel: perModel, Reps: reps}
+		}
+		for r := 0; r < reps; r++ {
+			liveMS, _, err := shardBenchRun(specs, shards, queries, "")
+			if err != nil {
+				return fmt.Errorf("shard S=%d live: %w", shards, err)
+			}
+			storeRoot, err := os.MkdirTemp("", "pasnet-shard-bench")
+			if err != nil {
+				return err
+			}
+			storeMS, offlineMS, err := shardBenchRun(specs, shards, queries, storeRoot)
+			os.RemoveAll(storeRoot)
+			if err != nil {
+				return fmt.Errorf("shard S=%d store: %w", shards, err)
+			}
+			for _, name := range shardBackbones {
+				b := best[name]
+				if b.LiveOnlineMSPerQuery == 0 || liveMS[name] < b.LiveOnlineMSPerQuery {
+					b.LiveOnlineMSPerQuery = liveMS[name]
+				}
+				if b.StoreOnlineMSPerQuery == 0 || storeMS[name] < b.StoreOnlineMSPerQuery {
+					b.StoreOnlineMSPerQuery = storeMS[name]
+				}
+				if b.OfflineMSTotal == 0 || offlineMS < b.OfflineMSTotal {
+					b.OfflineMSTotal = offlineMS
+				}
+			}
+		}
+		for _, name := range shardBackbones {
+			b := best[name]
+			rep.Results = append(rep.Results, *b)
+			rep.StoreOnlineMSPerQuery[fmt.Sprintf("%s_s%d", name, shards)] = b.StoreOnlineMSPerQuery
+			fmt.Printf("  %-14s %7d %18.3f %18.3f %14.2f\n",
+				name, shards, b.LiveOnlineMSPerQuery, b.StoreOnlineMSPerQuery, b.OfflineMSTotal)
+		}
+	}
+
+	if jsonDir != "" {
+		path := filepath.Join(jsonDir, "BENCH_shard.json")
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", path)
+	}
+	return nil
+}
+
+// shardBenchRun stands up one full gateway deployment in-process — a
+// fresh registry of every model at the given shard count, the loopback
+// vendor, and the router — then routes the query load for all models
+// concurrently and returns each model's amortized online ms/query (wall
+// clock from first submission to that model's last reply). With a
+// storeRoot, every shard is provisioned its own correlation store first
+// (off the clock; its wall time is returned as offlineMS) and the online
+// path only replays stores.
+func shardBenchRun(specs map[string]*gateway.ModelSpec, shards int, queries []*tensor.Tensor, storeRoot string) (onlineMS map[string]float64, offlineMS float64, err error) {
+	reg := gateway.NewRegistry()
+	for _, name := range shardBackbones {
+		base := specs[name]
+		spec := &gateway.ModelSpec{
+			ID:     base.ID,
+			Model:  base.Model,
+			Input:  base.Input,
+			Shards: gateway.Shards(base.ID, shards, 17, storeRoot),
+		}
+		if err := reg.Register(spec); err != nil {
+			return nil, 0, err
+		}
+	}
+	if storeRoot != "" {
+		offStart := time.Now()
+		// Batch=1 below keeps every flush at the N=1 geometry; each shard
+		// serves at most the whole per-model load.
+		if _, err := gateway.WriteShardStores(reg, []int{1}, len(queries)); err != nil {
+			return nil, 0, err
+		}
+		offlineMS = time.Since(offStart).Seconds() * 1e3
+	}
+	lb := gateway.NewLoopback(reg)
+	rt, err := gateway.NewRouter(reg, gateway.RouterOptions{Batch: 1, Dial: lb.Dial})
+	if err != nil {
+		return nil, 0, err
+	}
+	onlineMS = map[string]float64{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errc := make(chan error, len(shardBackbones)*len(queries))
+	start := time.Now()
+	for _, name := range shardBackbones {
+		var modelWG sync.WaitGroup
+		for _, x := range queries {
+			modelWG.Add(1)
+			go func(name string, x *tensor.Tensor) {
+				defer modelWG.Done()
+				if _, err := rt.Submit(name, x); err != nil {
+					errc <- err
+				}
+			}(name, x)
+		}
+		wg.Add(1)
+		go func(name string, modelWG *sync.WaitGroup) {
+			defer wg.Done()
+			modelWG.Wait()
+			ms := time.Since(start).Seconds() * 1e3 / float64(len(queries))
+			mu.Lock()
+			onlineMS[name] = ms
+			mu.Unlock()
+		}(name, &modelWG)
+	}
+	wg.Wait()
+	close(errc)
+	// Tear down before surfacing any query error, so a failed rep never
+	// leaks live sessions or vendor goroutines into the next one.
+	closeErr := rt.Close()
+	waitErr := lb.Wait()
+	for err := range errc {
+		return nil, 0, err
+	}
+	if closeErr != nil {
+		return nil, 0, closeErr
+	}
+	if waitErr != nil {
+		return nil, 0, waitErr
+	}
+	return onlineMS, offlineMS, nil
+}

@@ -1,35 +1,53 @@
 // Command pasnet-server runs the paper's two-server private-inference
-// deployment over TCP, now with a batched multi-query pipeline: party 1
-// accepts client queries, packs everything that arrives within a batching
-// window into one N=K secure evaluation against party 0, and demultiplexes
-// the per-query logits back to each client.
+// deployment over TCP, now with a batched multi-query pipeline and a
+// multi-model shard gateway: party 1 accepts client queries, packs
+// everything that arrives within a batching window into one N=K secure
+// evaluation against party 0, and demultiplexes the per-query logits back
+// to each client.
 //
-// Terminal 1:  pasnet-server -party 0 -listen :9000
+// Single-model deployment (one 2PC pair):
+//
+//	Terminal 1:  pasnet-server -party 0 -listen :9000
 //
 //	Terminal 2:  pasnet-server -party 1 -connect 127.0.0.1:9000 \
 //		-client-listen :9100 -batch 8 -window 50ms -clients 2
 //
-// Terminal 3+: pasnet-server -party client -client-connect 127.0.0.1:9100 -queries 4
+//	Terminal 3+: pasnet-server -party client -client-connect 127.0.0.1:9100 -queries 4
+//
+// Multi-model shard gateway (one 2PC pair per (model, shard)):
+//
+//	Terminal 1:  pasnet-server -party 0 -models resnet18,mobilenetv2 -shards 2 -listen :9000
+//
+//	Terminal 2:  pasnet-server -party gateway -models resnet18,mobilenetv2 -shards 2 \
+//		-connect 127.0.0.1:9000 -client-listen :9100 -clients 2
+//
+//	Terminal 3+: pasnet-server -party client -model mobilenetv2 \
+//		-client-connect 127.0.0.1:9100 -queries 4
 //
 // Both computing parties build the same (deterministically seeded) trained
-// model and dealer stream; weight shares are established once per session
-// and reused across every batched flush. Running party 1 without
-// -client-listen instead evaluates -queries local queries through the same
-// batcher (the in-process multi-query mode).
+// models and per-shard dealer streams; weight shares are established once
+// per shard link and reused across every batched flush. The gateway routes
+// each client query to one of its model's shard pairs round-robin, failing
+// over to the next healthy shard when a pair dies. Running the gateway (or
+// party 1) without -client-listen instead evaluates -queries local queries
+// through the same router/batcher.
 //
 // The offline/online deployment split runs as a separate role:
 //
 //	pasnet-server -party preprocess -store ./stores -batches 1,2,4,8 -flushes 8
 //
-// writes both parties' correlation store files per batch geometry; the
-// computing parties then add `-store ./stores` and their measured online
-// phase only replays preprocessed material. A flush whose geometry was
-// never preprocessed degrades to the live dealer on both sides (counted
-// and reported at shutdown); an exhausted or wrong-run store fails with a
-// descriptive error on both sides. Note a flush's geometry is the row
-// *sum* of the packed queries — up to -batch requests of up to -batch
-// rows each — so preprocess the sums your query mix actually produces
-// (single-row clients yield sums 1..-batch).
+// writes both parties' correlation store files per batch geometry; with
+// -models/-shards it instead provisions one store directory per (model,
+// shard) under -store, so shard fan-out multiplies offline generation
+// only. The computing parties then add `-store ./stores` and their
+// measured online phase only replays preprocessed material. A flush whose
+// geometry was never preprocessed degrades to the live dealer on both
+// sides (counted and reported at shutdown); an exhausted or wrong-run
+// store fails that shard with a descriptive error on both sides — and the
+// gateway reroutes its queries to the surviving shards. Note a flush's
+// geometry is the row *sum* of the packed queries — up to -batch requests
+// of up to -batch rows each — so preprocess the sums your query mix
+// actually produces (single-row clients yield sums 1..-batch).
 package main
 
 import (
@@ -45,6 +63,7 @@ import (
 
 	"pasnet/internal/dataset"
 	"pasnet/internal/fixed"
+	"pasnet/internal/gateway"
 	"pasnet/internal/models"
 	"pasnet/internal/mpc"
 	"pasnet/internal/nas"
@@ -53,7 +72,7 @@ import (
 	"pasnet/internal/transport"
 )
 
-// config collects the command-line options of all four roles.
+// config collects the command-line options of all five roles.
 type config struct {
 	party         string
 	listen        string
@@ -67,30 +86,41 @@ type config struct {
 	queries       int
 	clients       int
 	// store is the preprocessed-correlation directory: the preprocess role
-	// writes store files there; parties 0/1 load them at serve time.
+	// writes store files there; parties 0/1 load them at serve time. With
+	// -models it is the per-(model, shard) store root.
 	store string
 	// flushes and batches shape the preprocess role's output: how many
 	// evaluations per geometry, at which batch sizes.
 	flushes int
 	batches string
+	// models and shards select the multi-model gateway deployment: a
+	// comma-separated backbone list served with that many shard pairs each.
+	models string
+	shards int
+	// model is the client role's target model ID ("" = the single-model
+	// protocol).
+	model string
 }
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.party, "party", "0", "role: 0 (model vendor, listens), 1 (client-facing server, connects), client (query submitter)")
-	flag.StringVar(&cfg.listen, "listen", ":9000", "party 0 listen address for the 2PC link")
-	flag.StringVar(&cfg.connect, "connect", "127.0.0.1:9000", "party 1 peer address for the 2PC link")
-	flag.StringVar(&cfg.clientListen, "client-listen", "", "party 1 address for client query submissions (empty: evaluate -queries local queries)")
-	flag.StringVar(&cfg.clientConnect, "client-connect", "127.0.0.1:9100", "client mode: party 1's client address")
-	flag.StringVar(&cfg.backbone, "backbone", "resnet18", "model backbone")
+	flag.StringVar(&cfg.party, "party", "0", "role: 0 (model vendor, listens), 1 (client-facing server, connects), gateway (multi-model client-facing server), client (query submitter), preprocess (offline store writer)")
+	flag.StringVar(&cfg.listen, "listen", ":9000", "party 0 listen address for the 2PC link(s)")
+	flag.StringVar(&cfg.connect, "connect", "127.0.0.1:9000", "party 1/gateway peer address for the 2PC link(s)")
+	flag.StringVar(&cfg.clientListen, "client-listen", "", "party 1/gateway address for client query submissions (empty: evaluate -queries local queries)")
+	flag.StringVar(&cfg.clientConnect, "client-connect", "127.0.0.1:9100", "client mode: the serving party's client address")
+	flag.StringVar(&cfg.backbone, "backbone", "resnet18", "single-model roles: model backbone")
 	flag.Uint64Var(&cfg.seed, "seed", 99, "shared deterministic seed (must match on both computing parties)")
-	flag.IntVar(&cfg.batch, "batch", 8, "party 1: max queries packed into one secure evaluation")
-	flag.DurationVar(&cfg.window, "window", 50*time.Millisecond, "party 1: max wait before flushing a partial batch")
-	flag.IntVar(&cfg.queries, "queries", 4, "queries to submit (party 1 local mode, or client mode)")
-	flag.IntVar(&cfg.clients, "clients", 1, "party 1: client connections to serve before shutting down")
-	flag.StringVar(&cfg.store, "store", "", "preprocessed correlation store directory (preprocess role writes it; parties 0/1 serve from it)")
-	flag.IntVar(&cfg.flushes, "flushes", 8, "preprocess: evaluations to preprocess per batch geometry")
+	flag.IntVar(&cfg.batch, "batch", 8, "serving parties: max queries packed into one secure evaluation per shard")
+	flag.DurationVar(&cfg.window, "window", 50*time.Millisecond, "serving parties: max wait before flushing a partial batch")
+	flag.IntVar(&cfg.queries, "queries", 4, "queries to submit (local mode, or client mode)")
+	flag.IntVar(&cfg.clients, "clients", 1, "serving parties: client connections to serve before shutting down")
+	flag.StringVar(&cfg.store, "store", "", "preprocessed correlation store directory (preprocess role writes it; computing parties serve from it)")
+	flag.IntVar(&cfg.flushes, "flushes", 8, "preprocess: evaluations to preprocess per batch geometry (per shard)")
 	flag.StringVar(&cfg.batches, "batches", "1,2,4,8", "preprocess: comma-separated batch sizes to preprocess")
+	flag.StringVar(&cfg.models, "models", "", "gateway deployment: comma-separated backbones to serve (party 0, gateway and preprocess roles)")
+	flag.IntVar(&cfg.shards, "shards", 1, "gateway deployment: 2PC session pairs per model")
+	flag.StringVar(&cfg.model, "model", "", "client mode: model ID to query (empty: the single-model protocol)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pasnet-server:", err)
@@ -98,9 +128,16 @@ func main() {
 	}
 }
 
-// inputHW is the demo model's spatial size; all roles derive query geometry
-// from it.
+// inputHW is the demo models' spatial size; all roles derive query
+// geometry from it.
 const inputHW = 16
+
+// queryIndex picks the q'th local query's deterministic dataset index,
+// safe for seeds above MaxInt64 (a plain int(seed)+q goes negative there
+// and Go's % keeps the sign).
+func queryIndex(seed uint64, q, n int) int {
+	return int((seed%uint64(n) + uint64(q)) % uint64(n))
+}
 
 // buildDataset returns the deterministic synthetic query source shared by
 // every role.
@@ -111,7 +148,7 @@ func buildDataset(seed uint64) *dataset.Dataset {
 	})
 }
 
-// buildModel deterministically trains the demo model so the two computing
+// buildModel deterministically trains a demo model so the two computing
 // parties need no weight files.
 func buildModel(backbone string, seed uint64, d *dataset.Dataset) (*models.Model, error) {
 	cfg := models.CIFARConfig(0.0625, seed)
@@ -131,26 +168,76 @@ func buildModel(backbone string, seed uint64, d *dataset.Dataset) (*models.Model
 	return m, nil
 }
 
+// buildRegistry deterministically trains every -models backbone and
+// registers it with -shards shard descriptors. The vendor, the gateway
+// and the preprocess role all derive the identical registry — same models,
+// same per-shard dealer seeds, same store layout — from the shared flags.
+func buildRegistry(cfg config) (*gateway.Registry, error) {
+	names := splitList(cfg.models)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-models named no backbones")
+	}
+	if cfg.shards < 1 {
+		return nil, fmt.Errorf("-shards must be >= 1, got %d", cfg.shards)
+	}
+	d := buildDataset(cfg.seed)
+	reg := gateway.NewRegistry()
+	for _, name := range names {
+		m, err := buildModel(name, cfg.seed, d)
+		if err != nil {
+			return nil, fmt.Errorf("model %q: %w", name, err)
+		}
+		spec := &gateway.ModelSpec{
+			ID:     name,
+			Model:  m,
+			Input:  []int{3, inputHW, inputHW},
+			RowCap: cfg.batch,
+			Shards: gateway.Shards(name, cfg.shards, cfg.seed, cfg.store),
+		}
+		if err := reg.Register(spec); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 func run(cfg config) error {
 	switch cfg.party {
 	case "0":
+		if cfg.models != "" {
+			return runMultiVendor(cfg)
+		}
 		return runVendor(cfg)
 	case "1":
 		return runFrontend(cfg)
+	case "gateway":
+		return runGateway(cfg)
 	case "client":
 		return runClient(cfg)
 	case "preprocess":
 		return runPreprocess(cfg)
 	default:
-		return fmt.Errorf("unknown -party %q (want 0, 1, client or preprocess)", cfg.party)
+		return fmt.Errorf("unknown -party %q (want 0, 1, gateway, client or preprocess)", cfg.party)
 	}
 }
 
 // runPreprocess is the offline phase as its own role: it traces the
-// model's correlation demand per batch geometry and writes both parties'
-// store files into -store, each covering -flushes evaluations. The two
-// computing parties then serve with `-store <dir>` and their measured
-// online phase never generates a correlation.
+// models' correlation demand per batch geometry and writes both parties'
+// store files into -store, each covering -flushes evaluations. With
+// -models, every (model, shard) pair gets its own store directory off its
+// own dealer stream — shard fan-out multiplies this offline work, never
+// the online path.
 func runPreprocess(cfg config) error {
 	if cfg.store == "" {
 		return fmt.Errorf("preprocess role needs -store <dir>")
@@ -162,26 +249,40 @@ func runPreprocess(cfg config) error {
 	if err != nil {
 		return err
 	}
-	d := buildDataset(cfg.seed)
-	m, err := buildModel(cfg.backbone, cfg.seed, d)
-	if err != nil {
-		return err
-	}
-	prog, err := pi.Compile(m.Net)
-	if err != nil {
-		return err
-	}
-	shapes := make([][]int, len(batches))
-	for i, k := range batches {
-		shapes[i] = []int{k, 3, inputHW, inputHW}
-	}
 	start := time.Now()
-	paths, err := pi.WriteStores(prog, cfg.seed, shapes, cfg.flushes, cfg.store)
-	if err != nil {
-		return err
+	var paths []string
+	if cfg.models != "" {
+		reg, err := buildRegistry(cfg)
+		if err != nil {
+			return err
+		}
+		paths, err = gateway.WriteShardStores(reg, batches, cfg.flushes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("preprocessed %d flushes per geometry for models %v × %d shard(s), batch sizes %v in %.1f ms:\n",
+			cfg.flushes, reg.Models(), cfg.shards, batches, time.Since(start).Seconds()*1e3)
+	} else {
+		d := buildDataset(cfg.seed)
+		m, err := buildModel(cfg.backbone, cfg.seed, d)
+		if err != nil {
+			return err
+		}
+		prog, err := pi.Compile(m.Net)
+		if err != nil {
+			return err
+		}
+		shapes := make([][]int, len(batches))
+		for i, k := range batches {
+			shapes[i] = []int{k, 3, inputHW, inputHW}
+		}
+		paths, err = pi.WriteStores(prog, cfg.seed, shapes, cfg.flushes, cfg.store)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("preprocessed %d flushes for batch sizes %v in %.1f ms:\n",
+			cfg.flushes, batches, time.Since(start).Seconds()*1e3)
 	}
-	fmt.Printf("preprocessed %d flushes for batch sizes %v in %.1f ms:\n",
-		cfg.flushes, batches, time.Since(start).Seconds()*1e3)
 	for _, p := range paths {
 		st, err := os.Stat(p)
 		if err != nil {
@@ -195,11 +296,7 @@ func runPreprocess(cfg config) error {
 // parseBatchSizes parses the -batches list.
 func parseBatchSizes(s string) ([]int, error) {
 	var out []int
-	for _, f := range strings.Split(s, ",") {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			continue
-		}
+	for _, f := range splitList(s) {
 		k, err := strconv.Atoi(f)
 		if err != nil || k < 1 {
 			return nil, fmt.Errorf("bad batch size %q in -batches", f)
@@ -212,8 +309,8 @@ func parseBatchSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-// runVendor is party 0: it shares the model once, then serves batched
-// evaluations until party 1 closes the session.
+// runVendor is the single-model party 0: it shares the model once, then
+// serves batched evaluations until party 1 closes the session.
 func runVendor(cfg config) error {
 	d := buildDataset(cfg.seed)
 	m, err := buildModel(cfg.backbone, cfg.seed, d)
@@ -233,7 +330,11 @@ func runVendor(cfg config) error {
 		return err
 	}
 	if cfg.store != "" {
-		sess.UsePreprocessed(pi.NewDirProvider(cfg.store))
+		dp := pi.NewDirProvider(cfg.store)
+		if err := dp.Preload(0); err != nil {
+			return err
+		}
+		sess.UsePreprocessed(dp)
 		fmt.Println("party 0: serving from preprocessed correlation stores in", cfg.store)
 	}
 	fmt.Println("party 0: model shared, serving batched evaluations")
@@ -247,8 +348,114 @@ func runVendor(cfg config) error {
 	return nil
 }
 
-// runFrontend is party 1: it batches queries (from TCP clients or a local
-// generator) and runs each flush as one secure evaluation against party 0.
+// runMultiVendor is the multi-model party 0: it trains every registered
+// model, accepts one 2PC link per (model, shard), and serves each link's
+// session concurrently until the gateway closes them.
+func runMultiVendor(cfg config) error {
+	reg, err := buildRegistry(cfg)
+	if err != nil {
+		return err
+	}
+	n := reg.TotalShards()
+	l, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	if cfg.store != "" {
+		fmt.Println("party 0: serving from per-shard correlation stores under", cfg.store)
+	}
+	fmt.Printf("party 0: models %v shared across %d shard link(s) on %s\n", reg.Models(), n, cfg.listen)
+	if err := gateway.ServeShards(l, reg, n); err != nil {
+		return err
+	}
+	fmt.Println("party 0: all shard sessions closed")
+	return nil
+}
+
+// runGateway is the multi-model party 1: it owns one persistent session
+// pair per (model, shard), batches queries per shard, and routes each
+// client query to its model's next healthy shard.
+func runGateway(cfg config) error {
+	reg, err := buildRegistry(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gateway: connecting %d shard link(s) to %s\n", reg.TotalShards(), cfg.connect)
+	rt, err := gateway.NewRouter(reg, gateway.RouterOptions{
+		Batch:  cfg.batch,
+		Window: cfg.window,
+		Dial:   func(gateway.ShardDesc) (transport.Conn, error) { return transport.Dial(cfg.connect) },
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.store != "" {
+		fmt.Println("gateway: serving from per-shard correlation stores under", cfg.store)
+	}
+	fmt.Printf("gateway: sessions up, batching up to %d queries per %v window per shard\n", cfg.batch, cfg.window)
+
+	var serveErr error
+	if cfg.clientListen == "" {
+		runGatewayLocalQueries(cfg, reg, rt)
+	} else {
+		serveErr = serveClients(cfg, func(tc *transport.TCPConn) error {
+			return handleGatewayClient(tc, rt, reg)
+		})
+	}
+	if err := rt.Close(); err != nil {
+		return err
+	}
+	for _, st := range rt.Status() {
+		line := fmt.Sprintf("gateway: %s shard %d served %d queries in %d flushes", st.Model, st.Shard, st.Queries, st.Flushes)
+		if st.Fallbacks > 0 {
+			line += fmt.Sprintf(" (%d fell back to the live dealer — geometry not preprocessed)", st.Fallbacks)
+		}
+		if st.Down != "" {
+			line += " (down: " + st.Down + ")"
+		}
+		fmt.Println(line)
+	}
+	return serveErr
+}
+
+// runGatewayLocalQueries is the gateway's in-process multi-query mode:
+// -queries concurrent submissions round-robin across the registered
+// models, all through the shard router.
+func runGatewayLocalQueries(cfg config, reg *gateway.Registry, rt *gateway.Router) {
+	d := buildDataset(cfg.seed)
+	ids := reg.Models()
+	var wg sync.WaitGroup
+	for q := 0; q < cfg.queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			model := ids[q%len(ids)]
+			x, _ := d.Batch([]int{queryIndex(cfg.seed, q, d.Len())})
+			start := time.Now()
+			logits, err := rt.Submit(model, x)
+			if err != nil {
+				fmt.Printf("query %d (%s): %v\n", q, model, err)
+				return
+			}
+			fmt.Printf("query %d (%s): logits %.4f  (%.1f ms round trip)\n",
+				q, model, logits, time.Since(start).Seconds()*1e3)
+		}(q)
+	}
+	wg.Wait()
+}
+
+// demoQuerySpec is the single-model protocol's query-validation spec: the
+// same geometry/row-cap/payload-size logic the gateway enforces, scoped to
+// the one demo model. Untrusted clients hit it before tensor.New can be
+// handed hostile dimensions.
+func demoQuerySpec(backbone string, rowCap int) *gateway.ModelSpec {
+	return &gateway.ModelSpec{ID: backbone, Input: []int{3, inputHW, inputHW}, RowCap: rowCap}
+}
+
+// runFrontend is the single-model party 1: it batches queries (from TCP
+// clients or a local generator) and runs each flush as one secure
+// evaluation against party 0.
 func runFrontend(cfg config) error {
 	d := buildDataset(cfg.seed)
 	m, err := buildModel(cfg.backbone, cfg.seed, d)
@@ -267,7 +474,11 @@ func runFrontend(cfg config) error {
 		return err
 	}
 	if cfg.store != "" {
-		sess.UsePreprocessed(pi.NewDirProvider(cfg.store))
+		dp := pi.NewDirProvider(cfg.store)
+		if err := dp.Preload(1); err != nil {
+			return err
+		}
+		sess.UsePreprocessed(dp)
 		fmt.Println("party 1: serving from preprocessed correlation stores in", cfg.store)
 	}
 	fmt.Printf("party 1: model shared, batching up to %d queries per %v window\n", cfg.batch, cfg.window)
@@ -282,7 +493,10 @@ func runFrontend(cfg config) error {
 	if cfg.clientListen == "" {
 		runLocalQueries(cfg, d, batcher)
 	} else {
-		serveErr = serveClients(cfg, batcher)
+		spec := demoQuerySpec(cfg.backbone, cfg.batch)
+		serveErr = serveClients(cfg, func(tc *transport.TCPConn) error {
+			return handleClient(tc, batcher, spec)
+		})
 	}
 	// Tear down in order even when client serving failed, so party 0 sees
 	// the clean end-of-session sentinel rather than a transport error.
@@ -297,24 +511,6 @@ func runFrontend(cfg config) error {
 	return serveErr
 }
 
-// validateQueryShape bounds a client-supplied query shape before any
-// allocation: geometry must match the demo model exactly and the row count
-// must stay within rowCap. Untrusted clients reach this path, so the
-// checks run before tensor.New can be handed hostile dimensions.
-func validateQueryShape(shape []int, rowCap int) error {
-	rows, geom := 1, shape
-	if len(shape) == 4 {
-		rows, geom = shape[0], shape[1:]
-	}
-	if len(geom) != 3 || geom[0] != 3 || geom[1] != inputHW || geom[2] != inputHW {
-		return fmt.Errorf("query shape %v does not match expected geometry 3×%d×%d", shape, inputHW, inputHW)
-	}
-	if rows < 1 || rows > rowCap {
-		return fmt.Errorf("query batch rows %d outside [1, %d]", rows, rowCap)
-	}
-	return nil
-}
-
 // runLocalQueries is the in-process multi-query mode: -queries concurrent
 // submissions through the batcher, so they coalesce into shared flushes.
 func runLocalQueries(cfg config, d *dataset.Dataset, batcher *pi.Batcher) {
@@ -323,7 +519,7 @@ func runLocalQueries(cfg config, d *dataset.Dataset, batcher *pi.Batcher) {
 		wg.Add(1)
 		go func(q int) {
 			defer wg.Done()
-			x, _ := d.Batch([]int{(int(cfg.seed) + q) % d.Len()})
+			x, _ := d.Batch([]int{queryIndex(cfg.seed, q, d.Len())})
 			start := time.Now()
 			logits, err := batcher.Submit(x)
 			if err != nil {
@@ -337,15 +533,16 @@ func runLocalQueries(cfg config, d *dataset.Dataset, batcher *pi.Batcher) {
 	wg.Wait()
 }
 
-// serveClients accepts -clients connections and pipes their queries through
-// the shared batcher, so concurrent clients land in the same flush.
-func serveClients(cfg config, batcher *pi.Batcher) error {
+// serveClients accepts -clients connections and pipes each through the
+// given per-connection handler, so concurrent clients land in shared
+// flushes.
+func serveClients(cfg config, handle func(*transport.TCPConn) error) error {
 	l, err := net.Listen("tcp", cfg.clientListen)
 	if err != nil {
 		return err
 	}
 	defer l.Close()
-	fmt.Printf("party 1: accepting %d client connection(s) on %s\n", cfg.clients, cfg.clientListen)
+	fmt.Printf("accepting %d client connection(s) on %s\n", cfg.clients, cfg.clientListen)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.clients; i++ {
 		nc, err := l.Accept()
@@ -355,8 +552,8 @@ func serveClients(cfg config, batcher *pi.Batcher) error {
 		wg.Add(1)
 		go func(id int, nc net.Conn) {
 			defer wg.Done()
-			if err := handleClient(transport.NewTCPConn(nc), batcher, cfg.batch); err != nil {
-				fmt.Printf("party 1: client %d: %v\n", id, err)
+			if err := handle(transport.NewTCPConn(nc)); err != nil {
+				fmt.Printf("client %d: %v\n", id, err)
 			}
 		}(i, nc)
 	}
@@ -364,85 +561,216 @@ func serveClients(cfg config, batcher *pi.Batcher) error {
 	return nil
 }
 
-// handleClient reads a stream of (shape, data) query frames, enqueues each
-// on the batcher in arrival order without blocking the read loop (so one
-// client's pipelined queries share a flush, packed deterministically), and
-// writes replies back in submission order. A malformed query gets an
-// error reply (empty frame) without touching the batcher, so one bad
-// client query can never poison a shared flush or the 2PC session.
-func handleClient(tc *transport.TCPConn, batcher *pi.Batcher, rowCap int) error {
-	defer tc.Close()
-	waits := make(chan func() ([]float64, error), 256)
-	writeErr := make(chan error, 1) // the writer sends exactly one value
+// replyWriter drains per-query wait functions in submission order and
+// writes each reply frame back to the client: the logits on success, a
+// descriptive error frame on failure — so one bad query never drops the
+// connection or poisons co-batched clients.
+type replyWriter struct {
+	waits    chan func() ([]float64, error)
+	writeErr chan error // the writer sends exactly one value
+}
+
+func newReplyWriter(tc *transport.TCPConn) *replyWriter {
+	w := &replyWriter{
+		waits:    make(chan func() ([]float64, error), 256),
+		writeErr: make(chan error, 1),
+	}
 	go func() {
-		for wait := range waits {
+		for wait := range w.waits {
 			logits, err := wait()
+			var werr error
 			if err != nil {
-				fmt.Println("party 1: query error:", err)
-				logits = nil // empty frame marks a failed query
+				fmt.Println("query error:", err)
+				werr = tc.SendError(err.Error())
+			} else {
+				werr = tc.SendUint64s(floatBits(logits))
 			}
-			if err := tc.SendUint64s(floatBits(logits)); err != nil {
-				writeErr <- err
+			if werr != nil {
+				w.writeErr <- werr
 				return
 			}
 		}
-		writeErr <- nil
+		w.writeErr <- nil
 	}()
-	// enqueue hands a wait function to the writer without deadlocking if
-	// the writer already died on a send error: the error arrives on
-	// writeErr instead of a spot ever opening up in waits.
-	enqueue := func(wait func() ([]float64, error)) error {
-		select {
-		case waits <- wait:
-			return nil
-		case err := <-writeErr:
-			return err
-		}
+	return w
+}
+
+// enqueue hands a wait function to the writer without deadlocking if the
+// writer already died on a send error: the error arrives on writeErr
+// instead of a spot ever opening up in waits.
+func (w *replyWriter) enqueue(wait func() ([]float64, error)) error {
+	select {
+	case w.waits <- wait:
+		return nil
+	case err := <-w.writeErr:
+		return err
 	}
-	failQuery := func(err error) error {
-		return enqueue(func() ([]float64, error) { return nil, err })
-	}
+}
+
+// fail reports one query's failure as a descriptive error frame.
+func (w *replyWriter) fail(err error) error {
+	return w.enqueue(func() ([]float64, error) { return nil, err })
+}
+
+// finish closes the reply stream and waits for the writer.
+func (w *replyWriter) finish() error {
+	close(w.waits)
+	return <-w.writeErr
+}
+
+// handleClient reads a stream of (shape, data) query frames, enqueues each
+// on the batcher in arrival order without blocking the read loop (so one
+// client's pipelined queries share a flush, packed deterministically), and
+// writes replies back in submission order. A malformed query gets a
+// descriptive error frame without touching the batcher, so one bad client
+// query can never poison a shared flush or the 2PC session. Data frames
+// are received through the bounded path: the expected payload size is
+// computed from the already-received shape frame, so a hostile length
+// header is rejected before any allocation.
+func handleClient(tc *transport.TCPConn, batcher *pi.Batcher, spec *gateway.ModelSpec) error {
+	defer tc.Close()
+	w := newReplyWriter(tc)
 	for {
 		shape, err := tc.RecvShape()
 		if err != nil || len(shape) == 0 {
-			close(waits)
-			if werr := <-writeErr; werr != nil {
+			if werr := w.finish(); werr != nil {
 				return werr
 			}
-			if err != nil {
-				return err
-			}
-			return nil
-		}
-		vals, err := tc.RecvUint64s()
-		if err != nil {
-			close(waits)
-			<-writeErr
 			return err
 		}
-		if err := validateQueryShape(shape, rowCap); err != nil {
-			if err := failQuery(err); err != nil {
+		elems, shapeErr := spec.ValidateQuery(shape)
+		// The data frame always follows the shape frame (clients pipeline);
+		// it is drained — bounded — even for a rejected shape or a payload
+		// modestly off the declared size, so the stream stays in sync and
+		// the connection survives the bad query with an error frame. Only
+		// a frame past the slack bound (a hostile header) kills the link.
+		vals, err := tc.RecvUint64sMax(drainElems(shape, spec.MaxQueryElems()))
+		if err != nil {
+			_ = w.finish()
+			return err
+		}
+		if shapeErr != nil {
+			if err := w.fail(shapeErr); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(vals) != elems {
+			if err := w.fail(fmt.Errorf("query payload %d values, shape %v wants %d", len(vals), shape, elems)); err != nil {
 				return err
 			}
 			continue
 		}
 		x := tensor.New(shape...)
-		if len(vals) != len(x.Data) {
-			if err := failQuery(fmt.Errorf("query payload %d values, shape %v wants %d", len(vals), shape, len(x.Data))); err != nil {
-				return err
-			}
-			continue
-		}
 		copy(x.Data, bitsToFloats(vals))
-		if err := enqueue(batcher.SubmitAsync(x)); err != nil {
+		if err := w.enqueue(batcher.SubmitAsync(x)); err != nil {
 			return err
 		}
 	}
 }
 
-// runClient submits -queries queries to party 1 and prints each reply. All
-// queries are pipelined before the first reply is read, so a single client
-// exercises the batching path end to end.
+// handleGatewayClient is handleClient for the multi-model wire protocol:
+// queries arrive as (model+shape, data) frame pairs and are routed through
+// the shard router. Shape/model mismatches come back as descriptive
+// per-query error frames; the data frame is received through the bounded
+// path sized by the validated shape (or the registry-wide maximum when the
+// query was rejected, so draining cannot be abused either).
+func handleGatewayClient(tc *transport.TCPConn, rt *gateway.Router, reg *gateway.Registry) error {
+	defer tc.Close()
+	w := newReplyWriter(tc)
+	maxElems := registryMaxElems(reg)
+	for {
+		model, shape, err := tc.RecvModelShape()
+		if err != nil || (model == "" && len(shape) == 0) {
+			if werr := w.finish(); werr != nil {
+				return werr
+			}
+			return err
+		}
+		elems, queryErr := validateGatewayQuery(reg, model, shape)
+		// Bounded receive with modest slack over the declared shape: bad
+		// queries (including payload-size mismatches) get error frames
+		// without desyncing the stream; only hostile headers kill the link.
+		vals, err := tc.RecvUint64sMax(drainElems(shape, maxElems))
+		if err != nil {
+			_ = w.finish()
+			return err
+		}
+		if queryErr != nil {
+			if err := w.fail(queryErr); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(vals) != elems {
+			if err := w.fail(fmt.Errorf("model %q query payload %d values, shape %v wants %d", model, len(vals), shape, elems)); err != nil {
+				return err
+			}
+			continue
+		}
+		x := tensor.New(shape...)
+		copy(x.Data, bitsToFloats(vals))
+		if err := w.enqueue(rt.SubmitAsync(model, x)); err != nil {
+			return err
+		}
+	}
+}
+
+// drainElems bounds the data-frame receive for a query with the given
+// declared shape: eight times the declared payload, floored at the
+// largest legal query — so an honest-but-buggy client (a rejected shape,
+// a frame off the declared size, even a legal payload behind a garbage
+// shape header) still gets its descriptive per-query error frame and
+// keeps the connection — and capped at eight times the largest legal
+// query, so a hostile declaration still dies at the bounded receive
+// instead of driving a huge allocation. Overflow-safe for garbage dims.
+func drainElems(shape []int, maxLegal int) int {
+	limit := 8 * maxLegal
+	n := 1
+	for _, d := range shape {
+		if d <= 0 || n > limit/d {
+			return limit
+		}
+		n *= d
+	}
+	if n > limit/8 {
+		return limit
+	}
+	if 8*n < maxLegal {
+		return maxLegal
+	}
+	return 8 * n
+}
+
+// validateGatewayQuery resolves and validates one gateway query header,
+// returning its exact payload element count.
+func validateGatewayQuery(reg *gateway.Registry, model string, shape []int) (int, error) {
+	spec, err := reg.Lookup(model)
+	if err != nil {
+		return 0, err
+	}
+	return spec.ValidateQuery(shape)
+}
+
+// registryMaxElems is the largest legal query payload across registered
+// models — the drain bound for rejected queries.
+func registryMaxElems(reg *gateway.Registry) int {
+	max := 1
+	for _, id := range reg.Models() {
+		if spec, err := reg.Lookup(id); err == nil {
+			if n := spec.MaxQueryElems(); n > max {
+				max = n
+			}
+		}
+	}
+	return max
+}
+
+// runClient submits -queries queries to the serving party and prints each
+// reply. All queries are pipelined before the first reply is read, so a
+// single client exercises the batching path end to end. With -model set
+// it speaks the gateway's multi-model protocol; otherwise the single-model
+// shape-frame protocol.
 func runClient(cfg config) error {
 	d := buildDataset(cfg.seed)
 	tc, err := transport.Dial(cfg.clientConnect)
@@ -451,25 +779,42 @@ func runClient(cfg config) error {
 	}
 	defer tc.Close()
 	start := time.Now()
+	var maxReply int
 	for q := 0; q < cfg.queries; q++ {
-		x, _ := d.Batch([]int{(int(cfg.seed) + q) % d.Len()})
-		if err := tc.SendShape(x.Shape); err != nil {
+		x, _ := d.Batch([]int{queryIndex(cfg.seed, q, d.Len())})
+		if cfg.model != "" {
+			err = tc.SendModelShape(cfg.model, x.Shape)
+		} else {
+			err = tc.SendShape(x.Shape)
+		}
+		if err != nil {
 			return err
 		}
 		if err := tc.SendUint64s(floatBits(x.Data)); err != nil {
 			return err
 		}
+		if n := len(x.Data); n > maxReply {
+			maxReply = n
+		}
 	}
-	if err := tc.SendShape(nil); err != nil { // end of query stream
+	// End of query stream.
+	if cfg.model != "" {
+		err = tc.SendModelShape("", nil)
+	} else {
+		err = tc.SendShape(nil)
+	}
+	if err != nil {
 		return err
 	}
 	for q := 0; q < cfg.queries; q++ {
-		vals, err := tc.RecvUint64s()
+		// A reply is at most one logit row per query row — far smaller than
+		// the query itself, so the query size bounds the reply receive.
+		vals, errMsg, err := tc.RecvReply(maxReply)
 		if err != nil {
 			return fmt.Errorf("reply %d: %w", q, err)
 		}
-		if len(vals) == 0 {
-			fmt.Printf("query %d: evaluation failed server-side\n", q)
+		if errMsg != "" {
+			fmt.Printf("query %d: rejected server-side: %s\n", q, errMsg)
 			continue
 		}
 		fmt.Printf("query %d: logits %.4f\n", q, bitsToFloats(vals))

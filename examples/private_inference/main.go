@@ -1,15 +1,21 @@
 // private_inference trains a small all-polynomial ResNet-18 on the
 // synthetic CIFAR stand-in, then runs a full two-party private inference —
 // secret-shared weights and query, Beaver convolutions, X²act squares —
-// and verifies the ciphertext logits against plaintext evaluation.
+// and verifies the ciphertext logits against plaintext evaluation. The
+// walkthrough ends with the multi-model shard gateway: two registered
+// models, per-shard preprocessed correlation stores, and concurrent
+// queries routed across independent 2PC session pairs.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"sync"
 
 	"pasnet/internal/core"
 	"pasnet/internal/dataset"
+	"pasnet/internal/gateway"
 	"pasnet/internal/models"
 	"pasnet/internal/nas"
 	"pasnet/internal/pi"
@@ -91,4 +97,103 @@ func main() {
 		pre.OfflineSeconds*1e3, pre.OnlineSecondsPerQuery*1e3)
 	fmt.Printf("online-only speedup over the live-dealer path: %.2fx per query, bit-identical logits\n",
 		batch.OnlineSecondsPerQuery/pre.OnlineSecondsPerQuery)
+
+	// 5. The multi-model shard gateway: register two models, provision
+	// every (model, shard) pair its own preprocessed correlation store,
+	// and route concurrent queries for both models across independent 2PC
+	// session pairs. Shard fan-out multiplied only the offline store
+	// generation — each pair's online phase still just replays its own
+	// store.
+	cfg2 := models.CIFARConfig(0.0625, 21)
+	cfg2.InputHW = 16
+	cfg2.NumClasses = 4
+	cfg2.Act = models.ActX2
+	m2, err := models.ByName("mobilenetv2", cfg2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tOpts2 := nas.DefaultTrainOptions()
+	tOpts2.Steps = 60
+	if _, err := nas.TrainModel(m2, train, val, tOpts2); err != nil {
+		log.Fatal(err)
+	}
+
+	storeRoot, err := os.MkdirTemp("", "pasnet-gateway-stores")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(storeRoot)
+	reg := gateway.NewRegistry()
+	for _, spec := range []*gateway.ModelSpec{
+		// Two shard pairs per model, each with its own dealer seed and its
+		// own store directory under storeRoot.
+		{ID: "resnet18", Model: m, Input: []int{3, 16, 16}, Shards: gateway.Shards("resnet18", 2, 33, storeRoot)},
+		{ID: "mobilenetv2", Model: m2, Input: []int{3, 16, 16}, Shards: gateway.Shards("mobilenetv2", 2, 33, storeRoot)},
+	} {
+		if err := reg.Register(spec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Offline: one store per (model, shard) covering four N=1 flushes.
+	paths, err := gateway.WriteShardStores(reg, []int{1}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngateway: provisioned %d per-shard store files for %v under %s\n",
+		len(paths), reg.Models(), storeRoot)
+
+	// Online: the loopback vendor serves every shard's party-0 side
+	// in-process; the router owns a session + batcher per shard.
+	lb := gateway.NewLoopback(reg)
+	rt, err := gateway.NewRouter(reg, gateway.RouterOptions{Batch: 1, Dial: lb.Dial})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Failures are collected and reported after the drain: log.Fatal inside
+	// a goroutine would skip the store cleanup and the router/vendor
+	// teardown that surfaces the failure's cause.
+	var wg sync.WaitGroup
+	queryErrs := make(chan error, 2*3)
+	for _, id := range reg.Models() {
+		spec, _ := reg.Lookup(id)
+		for q := 0; q < 3; q++ {
+			x, _ := val.Batch([]int{q})
+			wg.Add(1)
+			go func(id string, spec *gateway.ModelSpec, q int, x *tensor.Tensor) {
+				defer wg.Done()
+				logits, err := rt.Submit(id, x)
+				if err != nil {
+					queryErrs <- fmt.Errorf("gateway %s query %d: %w", id, q, err)
+					return
+				}
+				plain := spec.Model.Net.Forward(x, false).Data
+				maxErr := 0.0
+				for i := range logits {
+					if d := logits[i] - plain[i]; d > maxErr || -d > maxErr {
+						maxErr = max(d, -d)
+					}
+				}
+				fmt.Printf("gateway %s query %d: logits %.4f (max abs err %.5f)\n", id, q, logits, maxErr)
+			}(id, spec, q, x)
+		}
+	}
+	wg.Wait()
+	close(queryErrs)
+	var routeErr error
+	for err := range queryErrs {
+		fmt.Println(err)
+		routeErr = err
+	}
+	if err := rt.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := lb.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range rt.Status() {
+		fmt.Printf("gateway %s shard %d: %d queries in %d flushes\n", st.Model, st.Shard, st.Queries, st.Flushes)
+	}
+	if routeErr != nil {
+		log.Fatal(routeErr)
+	}
 }

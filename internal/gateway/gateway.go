@@ -1,0 +1,330 @@
+// Package gateway is the multi-model shard-routing subsystem in front of
+// the pi.Session/pi.Batcher stack: it multiplexes client queries for many
+// registered models (and many shards of one model) across independent 2PC
+// session pairs, so a deployment serves heterogeneous traffic concurrently
+// without touching any single pair's online latency.
+//
+// A Registry maps model IDs to shard descriptors — the trained model, its
+// query geometry, and per shard the party-pair dealer seed, the 2PC
+// endpoint, and the shard's preprocessed correlation store directory. A
+// Router owns one persistent pi.Session plus request batcher per (model,
+// shard), routes each query round-robin across its model's healthy shards,
+// and fails a query over to the next shard when a session pair dies (a
+// store running dry, a torn connection). Each shard is provisioned its own
+// correlation store through a per-(model, shard) pi.SourceProvider
+// (WriteShardStores), so shard fan-out multiplies offline generation only
+// — the online path of every pair still just replays its own store, and
+// the per-flush source-stamp round still fails mixed provisioning loudly
+// per shard.
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"pasnet/internal/corr"
+	"pasnet/internal/models"
+	"pasnet/internal/pi"
+	"pasnet/internal/rng"
+)
+
+// MaxModelID bounds a registered model identifier, matching the transport
+// layer's model+shape control-frame field.
+const MaxModelID = 64
+
+// DefaultRowCap bounds the rows of one client query when a ModelSpec does
+// not set its own cap.
+const DefaultRowCap = 16
+
+// ShardDesc describes one shard of a registered model: an independent 2PC
+// party pair serving that model, with its own dealer stream and its own
+// preprocessed correlation store.
+type ShardDesc struct {
+	// Model is the owning model's registry ID.
+	Model string
+	// Shard is the shard index within the model, dense from 0.
+	Shard int
+	// Seed is the dealer seed shared by this shard's party pair. Distinct
+	// shards must use distinct seeds so no two pairs share correlation
+	// randomness (ShardSeed derives them).
+	Seed uint64
+	// StoreDir is this shard's preprocessed correlation store directory;
+	// empty keeps the shard's pair on the live dealer.
+	StoreDir string
+	// Endpoint is the party-0 address the router dials for this shard.
+	// Empty means the deployment supplies connections itself (in-process
+	// loopback, or a custom RouterOptions.Dial).
+	Endpoint string
+}
+
+// ModelSpec is one registered model: the trained network every shard pair
+// of this model secret-shares, its query geometry, and its shards.
+type ModelSpec struct {
+	// ID names the model on the wire (client query frames carry it).
+	ID string
+	// Model is the trained backbone all shards serve.
+	Model *models.Model
+	// Input is the C×H×W geometry of one query row.
+	Input []int
+	// RowCap bounds the rows of a single client query (0 = DefaultRowCap).
+	RowCap int
+	// Shards is the model's shard set, indexed densely from 0.
+	Shards []ShardDesc
+}
+
+// rowCap resolves the effective per-query row bound.
+func (spec *ModelSpec) rowCap() int {
+	if spec.RowCap > 0 {
+		return spec.RowCap
+	}
+	return DefaultRowCap
+}
+
+// RowElems is the element count of one query row.
+func (spec *ModelSpec) RowElems() int {
+	n := 1
+	for _, d := range spec.Input {
+		n *= d
+	}
+	return n
+}
+
+// MaxQueryElems is the largest legal query payload for this model — the
+// row cap times one row's elements. Serving loops use it as the bounded
+// drain size for rejected queries.
+func (spec *ModelSpec) MaxQueryElems() int {
+	return spec.rowCap() * spec.RowElems()
+}
+
+// ValidateQuery bounds a client-supplied query shape before any
+// allocation: geometry must match the model exactly and the row count must
+// stay within the cap. It returns the exact payload element count, which
+// callers feed to the transport's bounded receive.
+func (spec *ModelSpec) ValidateQuery(shape []int) (elems int, err error) {
+	rows, geom := 1, shape
+	if len(shape) == 4 {
+		rows, geom = shape[0], shape[1:]
+	}
+	if len(geom) != 3 || geom[0] != spec.Input[0] || geom[1] != spec.Input[1] || geom[2] != spec.Input[2] {
+		return 0, fmt.Errorf("gateway: query shape %v does not match model %q input geometry %v", shape, spec.ID, spec.Input)
+	}
+	if rows < 1 || rows > spec.rowCap() {
+		return 0, fmt.Errorf("gateway: model %q query batch rows %d outside [1, %d]", spec.ID, rows, spec.rowCap())
+	}
+	return rows * spec.RowElems(), nil
+}
+
+// Registry maps model IDs to their specs. Registration happens before
+// serving; lookups are concurrency-safe.
+type Registry struct {
+	mu    sync.RWMutex
+	specs map[string]*ModelSpec
+	order []string
+	// seeds tracks every registered shard's dealer seed registry-wide
+	// (value: "model/shard"), so no two pairs — of any model — can ever
+	// share a correlation stream.
+	seeds map[uint64]string
+	// claims tracks which (model, shard) pairs a vendor has already
+	// accepted a link for, so a second hello claiming the same shard —
+	// which would run a second protocol execution off the identical
+	// dealer stream — is rejected instead of served.
+	claims map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: map[string]*ModelSpec{}, seeds: map[uint64]string{}, claims: map[string]bool{}}
+}
+
+// claimShard reserves one (model, shard) pair for a vendor link. Claims
+// are permanent for the registry's lifetime: shards are never re-dialed
+// in a deployment, so a duplicate claim is always either a misconfigured
+// second gateway or a hostile peer replaying the hello.
+func (r *Registry) claimShard(model string, shard int) error {
+	key := fmt.Sprintf("%s/%d", model, shard)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.claims[key] {
+		return fmt.Errorf("gateway: model %q shard %d is already served by another link — a second pair on the same dealer seed would reuse its correlation stream", model, shard)
+	}
+	r.claims[key] = true
+	return nil
+}
+
+// Register validates and adds one model spec. Shard Model/Shard fields may
+// be left zero: they are stamped from the spec during registration.
+func (r *Registry) Register(spec *ModelSpec) error {
+	if spec.ID == "" || len(spec.ID) > MaxModelID {
+		return fmt.Errorf("gateway: model id %q must be 1..%d bytes", spec.ID, MaxModelID)
+	}
+	if spec.Model == nil || spec.Model.Net == nil {
+		return fmt.Errorf("gateway: model %q has no trained network", spec.ID)
+	}
+	// Dims must be positive: a non-positive dim would make MaxQueryElems
+	// non-positive, which disables the bounded receives sized from it.
+	if len(spec.Input) != 3 || spec.Input[0] < 1 || spec.Input[1] < 1 || spec.Input[2] < 1 {
+		return fmt.Errorf("gateway: model %q input geometry %v is not a positive C×H×W", spec.ID, spec.Input)
+	}
+	if len(spec.Shards) == 0 {
+		return fmt.Errorf("gateway: model %q registers no shards", spec.ID)
+	}
+	for i := range spec.Shards {
+		d := &spec.Shards[i]
+		d.Model = spec.ID
+		d.Shard = i
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.specs[spec.ID]; ok {
+		return fmt.Errorf("gateway: model %q already registered", spec.ID)
+	}
+	// Seed uniqueness is registry-wide: two pairs sharing a dealer seed —
+	// even across models — would draw identical correlation streams,
+	// undermining the independence of the two protocol executions. Check
+	// everything before committing anything, so a rejected spec leaves no
+	// orphan seed reservations behind.
+	fresh := map[uint64]string{}
+	for i, d := range spec.Shards {
+		owner := fmt.Sprintf("%s/%d", spec.ID, i)
+		if prev, dup := r.seeds[d.Seed]; dup {
+			return fmt.Errorf("gateway: model %q shard %d shares dealer seed %d with %s — every pair needs its own correlation stream", spec.ID, i, d.Seed, prev)
+		}
+		if prev, dup := fresh[d.Seed]; dup {
+			return fmt.Errorf("gateway: model %q shard %d shares dealer seed %d with %s — every pair needs its own correlation stream", spec.ID, i, d.Seed, prev)
+		}
+		fresh[d.Seed] = owner
+	}
+	for seed, owner := range fresh {
+		r.seeds[seed] = owner
+	}
+	r.specs[spec.ID] = spec
+	r.order = append(r.order, spec.ID)
+	return nil
+}
+
+// Lookup resolves a model ID.
+func (r *Registry) Lookup(id string) (*ModelSpec, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	spec, ok := r.specs[id]
+	if !ok {
+		known := append([]string(nil), r.order...)
+		sort.Strings(known)
+		return nil, fmt.Errorf("gateway: no model %q registered (have %v)", id, known)
+	}
+	return spec, nil
+}
+
+// Models lists registered model IDs in registration order.
+func (r *Registry) Models() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// TotalShards counts shard pairs across all registered models.
+func (r *Registry) TotalShards() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, spec := range r.specs {
+		n += len(spec.Shards)
+	}
+	return n
+}
+
+// ShardSeed derives the dealer seed of one (model, shard) pair from the
+// deployment's base seed. Both sides of the deployment — the vendor's
+// party-0 processes and the gateway's party-1 sessions — derive the same
+// seed, so a pair's live dealer streams stay lockstep, while distinct
+// pairs draw from independent streams.
+func ShardSeed(baseSeed uint64, model string, shard int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(model))
+	return rng.MixSeed(baseSeed, h.Sum64(), uint64(shard)+1)
+}
+
+// ShardStoreDir is the canonical per-(model, shard) correlation store
+// directory layout under one provisioning root.
+func ShardStoreDir(root, model string, shard int) string {
+	return filepath.Join(root, model, fmt.Sprintf("shard%d", shard))
+}
+
+// Shards builds n shard descriptors for one model: per-shard dealer seeds
+// off baseSeed, and per-shard store directories under storeRoot (empty
+// storeRoot keeps every shard on the live dealer).
+func Shards(model string, n int, baseSeed uint64, storeRoot string) []ShardDesc {
+	descs := make([]ShardDesc, n)
+	for i := range descs {
+		descs[i] = ShardDesc{Model: model, Shard: i, Seed: ShardSeed(baseSeed, model, i)}
+		if storeRoot != "" {
+			descs[i].StoreDir = ShardStoreDir(storeRoot, model, i)
+		}
+	}
+	return descs
+}
+
+// WriteShardStores provisions every store-backed shard of every registered
+// model: per model, the correlation demand tape is traced once per batch
+// geometry (batches lists the flush batch sizes to cover); per shard, both
+// parties' store files are generated off that shard's own dealer-seeded
+// stream — each covering `flushes` evaluations per geometry — into the
+// shard's StoreDir. Shard fan-out therefore multiplies this offline
+// generation, never the online path. The written paths are returned.
+func WriteShardStores(reg *Registry, batches []int, flushes int) ([]string, error) {
+	if flushes < 1 {
+		return nil, fmt.Errorf("gateway: preprocess flushes must be >= 1, got %d", flushes)
+	}
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("gateway: no batch sizes to preprocess")
+	}
+	var paths []string
+	for _, id := range reg.Models() {
+		spec, err := reg.Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := pi.Compile(spec.Model.Net)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: compile model %q: %w", id, err)
+		}
+		// One demand trace per (model, geometry), shared by every shard:
+		// the tape depends only on program and shape, never on the shard's
+		// randomness.
+		tapes := make([]corr.Tape, len(batches))
+		shapes := make([][]int, len(batches))
+		for i, k := range batches {
+			if k < 1 {
+				return nil, fmt.Errorf("gateway: bad preprocess batch size %d", k)
+			}
+			shapes[i] = append([]int{k}, spec.Input...)
+			if tapes[i], err = pi.TraceTape(prog, shapes[i]); err != nil {
+				return nil, fmt.Errorf("gateway: model %q geometry %v: %w", id, shapes[i], err)
+			}
+		}
+		for _, desc := range spec.Shards {
+			if desc.StoreDir == "" {
+				continue
+			}
+			if err := os.MkdirAll(desc.StoreDir, 0o755); err != nil {
+				return nil, fmt.Errorf("gateway: shard store dir: %w", err)
+			}
+			for i, shape := range shapes {
+				// The stream seed mixes the shard's own dealer seed, so
+				// each pair's stores — and their cross-checked run labels —
+				// are unique to the shard: stores from different shards or
+				// preprocess runs can never be mixed silently.
+				ps, err := pi.WriteStorePair(tapes[i], pi.StoreSeed(desc.Seed, shape), shape, flushes, desc.StoreDir)
+				if err != nil {
+					return nil, fmt.Errorf("gateway: model %q shard %d: %w", id, desc.Shard, err)
+				}
+				paths = append(paths, ps...)
+			}
+		}
+	}
+	return paths, nil
+}

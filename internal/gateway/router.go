@@ -1,0 +1,327 @@
+package gateway
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pasnet/internal/fixed"
+	"pasnet/internal/mpc"
+	"pasnet/internal/pi"
+	"pasnet/internal/rng"
+	"pasnet/internal/tensor"
+	"pasnet/internal/transport"
+)
+
+// RouterOptions configures a Router's per-shard serving stack.
+type RouterOptions struct {
+	// Batch is each shard batcher's max queries per flush (minimum 1).
+	Batch int
+	// Window is each shard batcher's max wait before flushing a partial
+	// batch (zero: only the count threshold triggers).
+	Window time.Duration
+	// Dial opens the party-1 side of one shard's 2PC link. Nil dials
+	// desc.Endpoint over TCP; in-process deployments pass a Loopback's
+	// Dial, tests substitute pipes.
+	Dial func(desc ShardDesc) (transport.Conn, error)
+}
+
+// shard is one live (model, shard) serving stack: the 2PC link, the
+// persistent session, and the request batcher in front of it.
+type shard struct {
+	desc    ShardDesc
+	conn    transport.Conn
+	sess    *pi.Session
+	batcher *pi.Batcher
+	queries atomic.Int64
+	flushes atomic.Int64
+
+	mu   sync.Mutex
+	down error
+}
+
+// fail marks the shard dead on its first terminal error. The 2PC session
+// is a lockstep two-party program, so any flush failure poisons the pair:
+// the link is closed and the shard never serves again.
+func (s *shard) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down == nil {
+		s.down = err
+		s.conn.Close()
+	}
+}
+
+func (s *shard) downErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// ShardStatus is one shard's routing bookkeeping snapshot.
+type ShardStatus struct {
+	Model   string
+	Shard   int
+	Queries int64
+	Flushes int64
+	// Fallbacks counts flushes this shard's session degraded to the live
+	// dealer because its store provider missed the flush geometry — the
+	// signal that "store-fed" latency numbers are quietly live-dealer ones.
+	Fallbacks int
+	// Down is empty while the shard serves; after a terminal failure it
+	// holds the error that killed the pair.
+	Down string
+}
+
+// Router demultiplexes client queries for many registered models across
+// independent 2PC session pairs. Every (model, shard) gets its own
+// persistent pi.Session and pi.Batcher; queries for one model round-robin
+// across that model's healthy shards and fail over to the next shard when
+// a pair dies. It is the layer cmd/pasnet-server's gateway role serves
+// clients through.
+type Router struct {
+	reg    *Registry
+	shards map[string][]*shard
+	rr     map[string]*atomic.Uint64
+}
+
+// NewRouter connects and sets up every registered shard: per (model,
+// shard) it dials the shard's party-0 peer, performs the hello handshake
+// naming the shard, establishes the persistent session (one-time weight
+// sharing), installs the shard's preprocessed store provider, and builds
+// the request batcher. Shards connect concurrently; any failure tears
+// everything down and surfaces the first error.
+func NewRouter(reg *Registry, opts RouterOptions) (*Router, error) {
+	if opts.Batch < 1 {
+		opts.Batch = 1
+	}
+	// A multi-query batcher without a window can strand work forever: a
+	// trailing partial batch — or a failover resubmission arriving alone —
+	// waits for a count threshold that never fills. The count-only mode is
+	// a test convenience of pi.Batcher, never a deployment shape, so the
+	// router forces a flush window whenever batching is on.
+	if opts.Batch > 1 && opts.Window <= 0 {
+		opts.Window = 50 * time.Millisecond
+	}
+	dial := opts.Dial
+	if dial == nil {
+		dial = func(desc ShardDesc) (transport.Conn, error) {
+			if desc.Endpoint == "" {
+				return nil, fmt.Errorf("gateway: model %q shard %d has no endpoint and no dialer", desc.Model, desc.Shard)
+			}
+			return transport.Dial(desc.Endpoint)
+		}
+	}
+	rt := &Router{reg: reg, shards: map[string][]*shard{}, rr: map[string]*atomic.Uint64{}}
+	// All map entries exist before any connect goroutine starts, so the
+	// goroutines only ever write into their own pre-sized slice slots.
+	specs := make([]*ModelSpec, 0, len(reg.Models()))
+	for _, id := range reg.Models() {
+		spec, err := reg.Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		rt.shards[id] = make([]*shard, len(spec.Shards))
+		rt.rr[id] = &atomic.Uint64{}
+		specs = append(specs, spec)
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for _, spec := range specs {
+		slots := rt.shards[spec.ID]
+		for i := range spec.Shards {
+			wg.Add(1)
+			go func(spec *ModelSpec, slots []*shard, i int) {
+				defer wg.Done()
+				s, err := connectShard(spec, spec.Shards[i], dial, opts)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				slots[i] = s
+			}(spec, slots, i)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		rt.Close()
+		return nil, firstErr
+	}
+	return rt, nil
+}
+
+// connectShard establishes one shard's serving stack.
+func connectShard(spec *ModelSpec, desc ShardDesc, dial func(ShardDesc) (transport.Conn, error), opts RouterOptions) (*shard, error) {
+	conn, err := dial(desc)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: dial model %q shard %d: %w", desc.Model, desc.Shard, err)
+	}
+	// Hello handshake: name the (model, shard) this link serves, then wait
+	// for the vendor's acceptance before the expensive weight sharing. A
+	// non-empty reply is the vendor's rejection reason.
+	if err := conn.SendModelShape(desc.Model, []int{desc.Shard}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("gateway: shard hello: %w", err)
+	}
+	ack, err := conn.RecvBytes()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("gateway: shard hello ack: %w", err)
+	}
+	if len(ack) > 0 {
+		conn.Close()
+		return nil, fmt.Errorf("gateway: vendor rejected model %q shard %d: %s", desc.Model, desc.Shard, ack)
+	}
+	p := mpc.NewParty(1, conn, desc.Seed, shardPrivSeed(desc, 1), fixed.Default64())
+	sess, err := pi.NewSession(p, spec.Model, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("gateway: model %q shard %d session: %w", desc.Model, desc.Shard, err)
+	}
+	if desc.StoreDir != "" {
+		dp := pi.NewDirProvider(desc.StoreDir)
+		// Deserialization belongs to setup, not to any flush's online path.
+		if err := dp.Preload(1); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("gateway: model %q shard %d: %w", desc.Model, desc.Shard, err)
+		}
+		sess.UsePreprocessed(dp)
+	}
+	s := &shard{desc: desc, conn: conn, sess: sess}
+	s.batcher = pi.NewBatcher(opts.Batch, opts.Window, func(b *tensor.Tensor) ([]float64, error) {
+		s.flushes.Add(1)
+		return sess.Query(b)
+	})
+	return s, nil
+}
+
+// shardPrivSeed derives a party's private randomness seed for one shard
+// pair. It only needs to differ from the peer's; deriving it from the
+// shard seed keeps deployments reproducible.
+func shardPrivSeed(desc ShardDesc, party int) uint64 {
+	return rng.MixSeed(desc.Seed, 0x9e3779b9, uint64(party)+1)
+}
+
+// pick returns the next healthy shard for a model, round-robin. The
+// offset parameter rotates past shards already tried by a failing query.
+func (rt *Router) pick(model string) (*shard, error) {
+	shards, ok := rt.shards[model]
+	if !ok {
+		return nil, fmt.Errorf("gateway: no model %q routed", model)
+	}
+	start := rt.rr[model].Add(1) - 1
+	var lastErr error
+	for i := 0; i < len(shards); i++ {
+		s := shards[(int(start)+i)%len(shards)]
+		if err := s.downErr(); err != nil {
+			lastErr = err
+			continue
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("gateway: all %d shard(s) of model %q are down: %w", len(shards), model, lastErr)
+}
+
+// Submit routes one query to the named model and blocks for its logits.
+func (rt *Router) Submit(model string, x *tensor.Tensor) ([]float64, error) {
+	return rt.SubmitAsync(model, x)()
+}
+
+// SubmitAsync routes one query and returns a wait function, so a
+// connection reader can enqueue a pipelined stream without blocking
+// (mirroring pi.Batcher.SubmitAsync). The query is validated against the
+// model's registered geometry before it can touch any batcher. When the
+// flush carrying the query fails, the shard is marked down and the query
+// transparently fails over to the model's remaining healthy shards; only
+// when every shard is down does the wait return an error.
+func (rt *Router) SubmitAsync(model string, x *tensor.Tensor) func() ([]float64, error) {
+	spec, err := rt.reg.Lookup(model)
+	if err != nil {
+		return failedWait(err)
+	}
+	if _, err := spec.ValidateQuery(x.Shape); err != nil {
+		return failedWait(err)
+	}
+	s, err := rt.pick(model)
+	if err != nil {
+		return failedWait(err)
+	}
+	s.queries.Add(1)
+	wait := s.batcher.SubmitAsync(x)
+	return func() ([]float64, error) {
+		logits, err := wait()
+		for err != nil {
+			s.fail(err)
+			if s, err = rt.pick(model); err != nil {
+				return nil, err
+			}
+			s.queries.Add(1)
+			logits, err = s.batcher.Submit(x)
+		}
+		return logits, nil
+	}
+}
+
+// Status snapshots every shard's routing bookkeeping, grouped by model in
+// registration order.
+func (rt *Router) Status() []ShardStatus {
+	var out []ShardStatus
+	for _, id := range rt.reg.Models() {
+		for _, s := range rt.shards[id] {
+			if s == nil {
+				continue
+			}
+			st := ShardStatus{Model: id, Shard: s.desc.Shard, Queries: s.queries.Load(), Flushes: s.flushes.Load(), Fallbacks: s.sess.Fallbacks()}
+			if err := s.downErr(); err != nil {
+				st.Down = err.Error()
+			}
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Close drains every shard's batcher, sends each healthy pair the
+// end-of-session sentinel, and closes the links. The first sentinel-send
+// failure on a healthy pair is returned — a shutdown that could not close
+// cleanly should be visible, not swallowed.
+func (rt *Router) Close() error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, shards := range rt.shards {
+		for _, s := range shards {
+			if s == nil {
+				continue
+			}
+			wg.Add(1)
+			go func(s *shard) {
+				defer wg.Done()
+				s.batcher.Close()
+				if s.downErr() == nil {
+					if err := s.sess.Close(); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("gateway: close model %q shard %d: %w", s.desc.Model, s.desc.Shard, err)
+						}
+						mu.Unlock()
+					}
+				}
+				s.conn.Close()
+			}(s)
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// failedWait adapts an immediate routing error to the wait-function shape.
+func failedWait(err error) func() ([]float64, error) {
+	return func() ([]float64, error) { return nil, err }
+}

@@ -3,6 +3,7 @@ package pi
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"pasnet/internal/corr"
 	"pasnet/internal/models"
@@ -234,12 +235,14 @@ type Session struct {
 	provider SourceProvider
 	// fallbacks counts flushes degraded to the live dealer because a
 	// provider could not resolve the flush geometry (see negotiateSource).
-	fallbacks int
+	// Atomic: monitoring callers (gateway Router.Status) may read it while
+	// a flush runs on the session goroutine.
+	fallbacks atomic.Int64
 }
 
 // Fallbacks reports how many flushes ran on the live dealer because the
 // preprocessed source could not be resolved for their geometry.
-func (s *Session) Fallbacks() int { return s.fallbacks }
+func (s *Session) Fallbacks() int { return int(s.fallbacks.Load()) }
 
 // UsePreprocessed installs a correlation source provider: before each
 // flush, the negotiated batch geometry is looked up and the returned
@@ -307,7 +310,7 @@ func (s *Session) negotiateSource(shape []int) error {
 	// dealer just stays there).
 	if mine[0] == 2 || (len(theirs) == 3 && theirs[0] == 2) {
 		s.party.Source = s.party.Dealer
-		s.fallbacks++
+		s.fallbacks.Add(1)
 		return nil
 	}
 	if len(theirs) != len(mine) || theirs[0] != mine[0] || theirs[1] != mine[1] || theirs[2] != mine[2] {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"pasnet/internal/corr"
@@ -128,6 +129,47 @@ func NewDirProvider(dir string) *DirProvider {
 	return &DirProvider{dir: dir, stores: map[string]*corr.Store{}}
 }
 
+// Preload eagerly loads the given party's store files in the directory,
+// so no flush pays store deserialization inside the measured online path
+// (SourceFor otherwise loads lazily on a geometry's first flush). Only
+// files named for the party are touched — the peer's halves in a shared
+// directory are never deserialized or pinned — and a file whose content
+// belongs to the wrong party fails here with the same descriptive error
+// the lazy path would raise, never entering the cache. A missing
+// directory is not an error — per-geometry lookups will miss with
+// ErrNoStore and degrade to the live dealer as usual — but an unreadable
+// store file is, loudly, at setup time rather than mid-deployment.
+func (dp *DirProvider) Preload(party int) error {
+	entries, err := os.ReadDir(dp.dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("pi: preload store dir: %w", err)
+	}
+	prefix := fmt.Sprintf("corr_p%d_", party)
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".pcs") {
+			continue
+		}
+		if _, ok := dp.stores[name]; ok {
+			continue
+		}
+		s, err := corr.ReadFile(filepath.Join(dp.dir, name))
+		if err != nil {
+			return fmt.Errorf("pi: preload store %s: %w", name, err)
+		}
+		if s.Party() != party {
+			return fmt.Errorf("pi: preload store %s holds party %d material, wanted party %d", name, s.Party(), party)
+		}
+		dp.stores[name] = s
+	}
+	return nil
+}
+
 // SourceFor implements SourceProvider: the file for (party, geometry) is
 // loaded once and its cursor persists across flushes.
 func (dp *DirProvider) SourceFor(party int, shape []int) (mpc.CorrelationSource, error) {
@@ -151,15 +193,46 @@ func (dp *DirProvider) SourceFor(party int, shape []int) (mpc.CorrelationSource,
 	return s, nil
 }
 
-// storeSeed derives the per-geometry dealer stream seed shared by the two
-// parties' store files.
-func storeSeed(dealerSeed uint64, shape []int) uint64 {
+// StoreSeed derives the per-geometry dealer stream seed shared by the two
+// parties' store files, so stores of different batch geometries never
+// share correlation randomness.
+func StoreSeed(dealerSeed uint64, shape []int) uint64 {
 	vs := make([]uint64, 0, len(shape)+1)
 	vs = append(vs, uint64(len(shape)))
 	for _, d := range shape {
 		vs = append(vs, uint64(d))
 	}
 	return rng.MixSeed(dealerSeed, vs...)
+}
+
+// WriteStorePair generates one geometry's store pair — the demand tape
+// repeated over `flushes` evaluations, off the stream seeded by seed —
+// and writes both parties' files into dir under the canonical names. Both
+// files carry the run stamp the sessions cross-check per flush, derived
+// from the stream seed, so stores from preprocess runs (or shards) with
+// different seeds can never be mixed silently. It is the single place the
+// store wire layout, naming and labeling live; every provisioning path
+// (WriteStores, the gateway's per-shard provisioning) goes through it.
+func WriteStorePair(tape corr.Tape, seed uint64, shape []int, flushes int, dir string) ([]string, error) {
+	if flushes < 1 {
+		return nil, fmt.Errorf("pi: preprocess flushes must be >= 1, got %d", flushes)
+	}
+	s0, s1, err := corr.BuildPair(tape.Repeat(flushes), rng.New(seed))
+	if err != nil {
+		return nil, fmt.Errorf("pi: preprocess geometry %v: %w", shape, err)
+	}
+	label := uint32(seed) ^ uint32(seed>>32)
+	s0.SetLabel(label)
+	s1.SetLabel(label)
+	var paths []string
+	for _, s := range []*corr.Store{s0, s1} {
+		path := filepath.Join(dir, corr.FileName(s.Party(), shape))
+		if err := s.WriteFile(path); err != nil {
+			return nil, fmt.Errorf("pi: write store: %w", err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
 }
 
 // WriteStores traces the demand tape for each input geometry and writes
@@ -177,24 +250,11 @@ func WriteStores(prog *Program, dealerSeed uint64, shapes [][]int, flushes int, 
 		if err != nil {
 			return nil, fmt.Errorf("pi: preprocess geometry %v: %w", shape, err)
 		}
-		seed := storeSeed(dealerSeed, shape)
-		s0, s1, err := corr.BuildPair(tape.Repeat(flushes), rng.New(seed))
+		ps, err := WriteStorePair(tape, StoreSeed(dealerSeed, shape), shape, flushes, dir)
 		if err != nil {
-			return nil, fmt.Errorf("pi: preprocess geometry %v: %w", shape, err)
+			return nil, err
 		}
-		// Both files carry the run stamp the sessions cross-check per
-		// flush, so stores from preprocess runs with different seeds can
-		// never be mixed silently.
-		label := uint32(seed) ^ uint32(seed>>32)
-		s0.SetLabel(label)
-		s1.SetLabel(label)
-		for _, s := range []*corr.Store{s0, s1} {
-			path := filepath.Join(dir, corr.FileName(s.Party(), shape))
-			if err := s.WriteFile(path); err != nil {
-				return nil, fmt.Errorf("pi: write store: %w", err)
-			}
-			paths = append(paths, path)
-		}
+		paths = append(paths, ps...)
 	}
 	return paths, nil
 }

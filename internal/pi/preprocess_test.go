@@ -328,6 +328,71 @@ func TestStoreErrorsSurfaceSymmetrically(t *testing.T) {
 	})
 }
 
+// TestDirProviderPreload pins the eager-load path: the party's store
+// files are deserialized up front (so no flush pays it online) while the
+// peer's halves in a shared directory are left untouched, a missing
+// directory stays a soft miss, a wrong-party file behind the party's name
+// is rejected at preload time, and a corrupt file fails loudly at preload
+// time instead of mid-deployment.
+func TestDirProviderPreload(t *testing.T) {
+	m, _ := smallModel(t, "resnet18", models.ActX2)
+	prog, err := Compile(m.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	shapes := [][]int{{1, 3, 16, 16}, {2, 3, 16, 16}}
+	if _, err := WriteStores(prog, 31, shapes, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	dp := NewDirProvider(dir)
+	if err := dp.Preload(0); err != nil {
+		t.Fatal(err)
+	}
+	// Every party-0 geometry is already cached: lookups must succeed and
+	// hand back the preloaded cursor-bearing stores.
+	for _, shape := range shapes {
+		src, err := dp.SourceFor(0, shape)
+		if err != nil {
+			t.Fatalf("party 0 %v after preload: %v", shape, err)
+		}
+		if src.(*corr.Store).Remaining() == 0 {
+			t.Fatalf("party 0 %v: preloaded store already exhausted", shape)
+		}
+	}
+	// A directory that does not exist is a soft miss, not a preload error.
+	if err := NewDirProvider(filepath.Join(dir, "nope")).Preload(0); err != nil {
+		t.Fatalf("missing dir must preload as empty, got: %v", err)
+	}
+	// A party-1 store renamed to the party-0 filename must be rejected at
+	// preload — never cached behind the party-0 key, where the lazy path's
+	// ownership check would no longer run.
+	name0 := corr.FileName(0, shapes[0])
+	p1bytes, err := os.ReadFile(filepath.Join(dir, corr.FileName(1, shapes[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(swapDir, name0), p1bytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewDirProvider(swapDir).Preload(0); err == nil || !strings.Contains(err.Error(), "holds party 1 material") {
+		t.Fatalf("wrong-party store behind the party-0 name must fail preload, got: %v", err)
+	}
+	// A corrupt store file fails preload loudly.
+	data, err := os.ReadFile(filepath.Join(dir, name0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(corruptDir, name0), data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewDirProvider(corruptDir).Preload(0); err == nil {
+		t.Fatal("corrupt store must fail preload")
+	}
+}
+
 // TestSessionWithDirProvider runs the deployed shape end to end: stores
 // written by WriteStores, two Sessions over a pipe with DirProviders on
 // both sides, several flushes of two geometries, then exhaustion on the

@@ -24,6 +24,12 @@ type Conn interface {
 	SendUint64s(xs []uint64) error
 	// RecvUint64s receives the next framed slice of 64-bit values.
 	RecvUint64s() ([]uint64, error)
+	// RecvUint64sMax is RecvUint64s with a caller-supplied element bound
+	// enforced before any payload allocation. Receivers that already know
+	// the expected payload size (e.g. from a preceding shape control frame)
+	// use it so a hostile length header cannot force a large transient
+	// allocation; a frame over the bound is a protocol error.
+	RecvUint64sMax(maxElems int) ([]uint64, error)
 	// SendBytes transmits a framed byte slice.
 	SendBytes(b []byte) error
 	// RecvBytes receives the next framed byte slice.
@@ -36,6 +42,22 @@ type Conn interface {
 	SendShape(shape []int) error
 	// RecvShape receives the next shape control frame.
 	RecvShape() ([]int, error)
+	// SendModelShape transmits a query control frame: a model identifier
+	// plus the query's tensor shape (frame kind 'm'). It is the multi-model
+	// generalization of SendShape, used by gateway clients to name the
+	// registered model a query targets. An empty model with an empty shape
+	// is the end-of-stream sentinel.
+	SendModelShape(model string, shape []int) error
+	// RecvModelShape receives the next model+shape control frame.
+	RecvModelShape() (string, []int, error)
+	// SendError transmits a descriptive per-query failure frame (kind 'e')
+	// so a serving loop can reject one bad query without dropping the
+	// connection or leaving the peer to guess what went wrong.
+	SendError(msg string) error
+	// RecvReply receives the next reply frame: either a uint64 data frame
+	// (bounded by maxElems like RecvUint64sMax) or an error frame, whose
+	// message comes back as errMsg with a nil err.
+	RecvReply(maxElems int) (vals []uint64, errMsg string, err error)
 	// Stats returns cumulative traffic counters for this endpoint.
 	Stats() Stats
 	// Close releases the underlying resources.
@@ -68,7 +90,7 @@ func (c *counter) stats() Stats {
 
 // message is the unit carried by the in-memory pipe.
 type message struct {
-	kind byte // 'u' uint32s, 'U' uint64s, 'b' bytes, 's' shape
+	kind byte // 'u' uint32s, 'U' uint64s, 'b' bytes, 's' shape, 'm' model+shape, 'e' error
 	u32  []uint32
 	u64  []uint64
 	raw  []byte
@@ -77,6 +99,14 @@ type message struct {
 // shapeDims bounds the rank of a shape frame so a corrupted or hostile
 // header cannot trigger a huge allocation.
 const shapeDims = 16
+
+// maxModelIDLen bounds the model identifier carried by a 'm' frame.
+const maxModelIDLen = 64
+
+// maxErrorBytes bounds an error frame's message; longer messages are
+// truncated on send rather than rejected, since the frame exists to carry
+// diagnostics back to an already-failing peer.
+const maxErrorBytes = 1024
 
 // encodeShape packs a shape into its wire form (one uint32 per dim).
 func encodeShape(shape []int) ([]byte, error) {
@@ -103,6 +133,53 @@ func decodeShape(payload []byte) ([]int, error) {
 		shape[i] = int(binary.LittleEndian.Uint32(payload[4*i:]))
 	}
 	return shape, nil
+}
+
+// encodeModelShape packs a model identifier and shape into the 'm' frame
+// wire form: a 1-byte model length, the model bytes, then the shape dims.
+func encodeModelShape(model string, shape []int) ([]byte, error) {
+	if len(model) > maxModelIDLen {
+		return nil, fmt.Errorf("transport: model id %d bytes exceeds %d", len(model), maxModelIDLen)
+	}
+	dims, err := encodeShape(shape)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, 0, 1+len(model)+len(dims))
+	payload = append(payload, byte(len(model)))
+	payload = append(payload, model...)
+	payload = append(payload, dims...)
+	return payload, nil
+}
+
+// decodeModelShape unpacks a 'm' frame payload.
+func decodeModelShape(payload []byte) (string, []int, error) {
+	if len(payload) < 1 {
+		return "", nil, fmt.Errorf("transport: empty model+shape frame")
+	}
+	n := int(payload[0])
+	if n > maxModelIDLen || len(payload) < 1+n {
+		return "", nil, fmt.Errorf("transport: malformed model+shape frame (%d bytes, model length %d)", len(payload), n)
+	}
+	model := string(payload[1 : 1+n])
+	shape, err := decodeShape(payload[1+n:])
+	if err != nil {
+		return "", nil, err
+	}
+	return model, shape, nil
+}
+
+// truncError clamps an error message to the frame bound. An empty message
+// is substituted so RecvReply callers can always distinguish an error frame
+// (non-empty errMsg) from an empty data frame.
+func truncError(msg string) string {
+	if msg == "" {
+		return "unspecified error"
+	}
+	if len(msg) > maxErrorBytes {
+		return msg[:maxErrorBytes]
+	}
+	return msg
 }
 
 // MemConn is one endpoint of an in-memory duplex pipe.
@@ -165,6 +242,19 @@ func (m *MemConn) RecvUint64s() ([]uint64, error) {
 	return msg.u64, nil
 }
 
+// RecvUint64sMax implements Conn. The in-memory pipe has no header to
+// pre-validate, so the bound is checked on the delivered slice.
+func (m *MemConn) RecvUint64sMax(maxElems int) ([]uint64, error) {
+	xs, err := m.RecvUint64s()
+	if err != nil {
+		return nil, err
+	}
+	if len(xs) > maxElems {
+		return nil, fmt.Errorf("transport: uint64 frame of %d elements exceeds expected %d", len(xs), maxElems)
+	}
+	return xs, nil
+}
+
 // SendBytes implements Conn.
 func (m *MemConn) SendBytes(b []byte) error {
 	cp := make([]byte, len(b))
@@ -207,6 +297,56 @@ func (m *MemConn) RecvShape() ([]int, error) {
 		return nil, fmt.Errorf("transport: expected shape frame, got %q", msg.kind)
 	}
 	return decodeShape(msg.raw)
+}
+
+// SendModelShape implements Conn.
+func (m *MemConn) SendModelShape(model string, shape []int) error {
+	payload, err := encodeModelShape(model, shape)
+	if err != nil {
+		return err
+	}
+	m.c.add(len(payload))
+	m.send <- message{kind: 'm', raw: payload}
+	return nil
+}
+
+// RecvModelShape implements Conn.
+func (m *MemConn) RecvModelShape() (string, []int, error) {
+	msg, ok := <-m.recv
+	if !ok {
+		return "", nil, io.EOF
+	}
+	if msg.kind != 'm' {
+		return "", nil, fmt.Errorf("transport: expected model+shape frame, got %q", msg.kind)
+	}
+	return decodeModelShape(msg.raw)
+}
+
+// SendError implements Conn.
+func (m *MemConn) SendError(errMsg string) error {
+	payload := []byte(truncError(errMsg))
+	m.c.add(len(payload))
+	m.send <- message{kind: 'e', raw: payload}
+	return nil
+}
+
+// RecvReply implements Conn.
+func (m *MemConn) RecvReply(maxElems int) ([]uint64, string, error) {
+	msg, ok := <-m.recv
+	if !ok {
+		return nil, "", io.EOF
+	}
+	switch msg.kind {
+	case 'e':
+		return nil, string(msg.raw), nil
+	case 'U':
+		if len(msg.u64) > maxElems {
+			return nil, "", fmt.Errorf("transport: uint64 reply of %d elements exceeds expected %d", len(msg.u64), maxElems)
+		}
+		return msg.u64, "", nil
+	default:
+		return nil, "", fmt.Errorf("transport: expected reply frame, got %q", msg.kind)
+	}
 }
 
 // Stats implements Conn.
@@ -274,28 +414,54 @@ func (t *TCPConn) writeFrame(kind byte, payload []byte) error {
 // under this.
 const maxFrameBytes = 1 << 30
 
-func (t *TCPConn) readFrame(wantKind byte) ([]byte, error) {
+// kindLimit is the per-kind payload cap enforced before any allocation:
+// control frames are tiny by definition, data frames are bounded by
+// maxFrameBytes (or tighter, when the receiver knows the expected size and
+// calls a bounded receive).
+func kindLimit(kind byte) uint32 {
+	switch kind {
+	case 's':
+		return 4 * shapeDims
+	case 'm':
+		return 1 + maxModelIDLen + 4*shapeDims
+	case 'e':
+		return maxErrorBytes
+	default:
+		return maxFrameBytes
+	}
+}
+
+// readHeader reads the next frame's 5-byte header and returns its kind and
+// declared payload length. Nothing is allocated for the payload yet.
+func (t *TCPConn) readHeader() (byte, uint32, error) {
 	if _, err := io.ReadFull(t.nc, t.buf[:]); err != nil {
-		return nil, err
+		return 0, 0, err
 	}
-	if t.buf[0] != wantKind {
-		return nil, fmt.Errorf("transport: expected frame kind %q, got %q", wantKind, t.buf[0])
-	}
-	n := binary.LittleEndian.Uint32(t.buf[1:])
-	// Enforce the cap before allocating: shape frames are tiny by
-	// definition, data frames are bounded by maxFrameBytes.
-	limit := uint32(maxFrameBytes)
-	if wantKind == 's' {
-		limit = 4 * shapeDims
-	}
+	return t.buf[0], binary.LittleEndian.Uint32(t.buf[1:]), nil
+}
+
+// readPayload validates a declared payload length against limit — before
+// allocating — then reads the payload.
+func (t *TCPConn) readPayload(kind byte, n, limit uint32) ([]byte, error) {
 	if n > limit {
-		return nil, fmt.Errorf("transport: frame kind %q payload %d exceeds limit %d", wantKind, n, limit)
+		return nil, fmt.Errorf("transport: frame kind %q payload %d exceeds limit %d", kind, n, limit)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(t.nc, payload); err != nil {
 		return nil, err
 	}
 	return payload, nil
+}
+
+func (t *TCPConn) readFrame(wantKind byte) ([]byte, error) {
+	kind, n, err := t.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	if kind != wantKind {
+		return nil, fmt.Errorf("transport: expected frame kind %q, got %q", wantKind, kind)
+	}
+	return t.readPayload(kind, n, kindLimit(kind))
 }
 
 // SendUints implements Conn.
@@ -335,11 +501,47 @@ func (t *TCPConn) RecvUint64s() ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeUint64s(payload), nil
+}
+
+// recvBoundedUint64s finishes receiving a 'U' frame whose header (with
+// declared length n) was already read: the element bound is enforced
+// before any payload allocation, so a hostile length header is rejected
+// at header-read time. It is the single place the bounded-receive rule
+// lives; RecvUint64sMax and RecvReply both go through it.
+func (t *TCPConn) recvBoundedUint64s(n uint32, maxElems int) ([]uint64, error) {
+	limit := uint64(8) * uint64(maxElems)
+	if limit > maxFrameBytes {
+		limit = maxFrameBytes
+	}
+	if uint64(n) > limit {
+		return nil, fmt.Errorf("transport: uint64 frame of %d bytes exceeds expected %d elements", n, maxElems)
+	}
+	payload, err := t.readPayload('U', n, uint32(limit))
+	if err != nil {
+		return nil, err
+	}
+	return decodeUint64s(payload), nil
+}
+
+// RecvUint64sMax implements Conn.
+func (t *TCPConn) RecvUint64sMax(maxElems int) ([]uint64, error) {
+	kind, n, err := t.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	if kind != 'U' {
+		return nil, fmt.Errorf("transport: expected frame kind 'U', got %q", kind)
+	}
+	return t.recvBoundedUint64s(n, maxElems)
+}
+
+func decodeUint64s(payload []byte) []uint64 {
 	xs := make([]uint64, len(payload)/8)
 	for i := range xs {
 		xs[i] = binary.LittleEndian.Uint64(payload[8*i:])
 	}
-	return xs, nil
+	return xs
 }
 
 // SendBytes implements Conn.
@@ -364,6 +566,53 @@ func (t *TCPConn) RecvShape() ([]int, error) {
 		return nil, err
 	}
 	return decodeShape(payload)
+}
+
+// SendModelShape implements Conn.
+func (t *TCPConn) SendModelShape(model string, shape []int) error {
+	payload, err := encodeModelShape(model, shape)
+	if err != nil {
+		return err
+	}
+	return t.writeFrame('m', payload)
+}
+
+// RecvModelShape implements Conn.
+func (t *TCPConn) RecvModelShape() (string, []int, error) {
+	payload, err := t.readFrame('m')
+	if err != nil {
+		return "", nil, err
+	}
+	return decodeModelShape(payload)
+}
+
+// SendError implements Conn.
+func (t *TCPConn) SendError(errMsg string) error {
+	return t.writeFrame('e', []byte(truncError(errMsg)))
+}
+
+// RecvReply implements Conn.
+func (t *TCPConn) RecvReply(maxElems int) ([]uint64, string, error) {
+	kind, n, err := t.readHeader()
+	if err != nil {
+		return nil, "", err
+	}
+	switch kind {
+	case 'e':
+		payload, err := t.readPayload(kind, n, maxErrorBytes)
+		if err != nil {
+			return nil, "", err
+		}
+		return nil, string(payload), nil
+	case 'U':
+		vals, err := t.recvBoundedUint64s(n, maxElems)
+		if err != nil {
+			return nil, "", err
+		}
+		return vals, "", nil
+	default:
+		return nil, "", fmt.Errorf("transport: expected reply frame, got %q", kind)
+	}
 }
 
 // Stats implements Conn.

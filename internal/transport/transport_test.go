@@ -282,6 +282,160 @@ func TestTCPTransport(t *testing.T) {
 	}
 }
 
+func TestModelShapeFrames(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := a.SendModelShape("resnet18", []int{1, 3, 16, 16}); err != nil {
+		t.Fatal(err)
+	}
+	model, shape, err := b.RecvModelShape()
+	if err != nil || model != "resnet18" || len(shape) != 4 || shape[1] != 3 {
+		t.Fatalf("model %q shape %v err %v", model, shape, err)
+	}
+	// Empty model + empty shape is the end-of-stream sentinel.
+	if err := a.SendModelShape("", nil); err != nil {
+		t.Fatal(err)
+	}
+	model, shape, err = b.RecvModelShape()
+	if err != nil || model != "" || len(shape) != 0 {
+		t.Fatalf("sentinel: model %q shape %v err %v", model, shape, err)
+	}
+	// Oversized model identifiers are rejected at send time.
+	if err := a.SendModelShape(string(make([]byte, maxModelIDLen+1)), nil); err == nil {
+		t.Fatal("oversized model id must be rejected")
+	}
+	// A model+shape frame must not satisfy a plain shape receive.
+	if err := a.SendModelShape("m", []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RecvShape(); err == nil {
+		t.Fatal("model+shape frame accepted as plain shape")
+	}
+}
+
+func TestReplyFrames(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := a.SendUint64s([]uint64{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	vals, errMsg, err := b.RecvReply(2)
+	if err != nil || errMsg != "" || len(vals) != 2 || vals[1] != 6 {
+		t.Fatalf("data reply: %v %q %v", vals, errMsg, err)
+	}
+	if err := a.SendError("query shape mismatch"); err != nil {
+		t.Fatal(err)
+	}
+	vals, errMsg, err = b.RecvReply(2)
+	if err != nil || vals != nil || errMsg != "query shape mismatch" {
+		t.Fatalf("error reply: %v %q %v", vals, errMsg, err)
+	}
+	// An empty message is substituted so an error frame is always
+	// distinguishable from an empty data frame.
+	if err := a.SendError(""); err != nil {
+		t.Fatal(err)
+	}
+	if _, errMsg, err = b.RecvReply(2); err != nil || errMsg == "" {
+		t.Fatalf("empty error reply: %q %v", errMsg, err)
+	}
+	// A data reply over the expected element bound is a protocol error.
+	if err := a.SendUint64s(make([]uint64, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err = b.RecvReply(2); err == nil {
+		t.Fatal("oversized data reply must be rejected")
+	}
+}
+
+func TestRecvUint64sMaxBound(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := a.SendUint64s(make([]uint64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.RecvUint64sMax(8); err != nil || len(got) != 8 {
+		t.Fatalf("in-bound frame: %d err %v", len(got), err)
+	}
+	if err := a.SendUint64s(make([]uint64, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RecvUint64sMax(8); err == nil {
+		t.Fatal("over-bound frame must be rejected")
+	}
+}
+
+// TestHostileHeaderRejectedBeforeAllocation is the bounded-receive
+// regression test: a frame header claiming a huge payload must fail the
+// bounded receive at header-validation time — before any payload-sized
+// allocation or read — when the receiver knows the expected size.
+func TestHostileHeaderRejectedBeforeAllocation(t *testing.T) {
+	hostileHeader := func(kind byte, claim uint32) []byte {
+		hdr := make([]byte, 5)
+		hdr[0] = kind
+		hdr[1] = byte(claim)
+		hdr[2] = byte(claim >> 8)
+		hdr[3] = byte(claim >> 16)
+		hdr[4] = byte(claim >> 24)
+		return hdr
+	}
+	for _, tc := range []struct {
+		name string
+		recv func(*TCPConn) error
+	}{
+		{"RecvUint64sMax", func(c *TCPConn) error {
+			_, err := c.RecvUint64sMax(768) // a 1×3×16×16 query's element count
+			return err
+		}},
+		{"RecvReply", func(c *TCPConn) error {
+			_, _, err := c.RecvReply(768)
+			return err
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			hostile, victim := net.Pipe()
+			defer hostile.Close()
+			defer victim.Close()
+			// The attacker sends only the 5-byte header claiming ~1 GiB;
+			// nothing else ever arrives. The bounded receive must error out
+			// after the header alone — if it tried to allocate-and-read the
+			// claimed payload it would block forever on this pipe (and a
+			// hostile client would have forced a 1 GiB allocation).
+			go hostile.Write(hostileHeader('U', 1<<30))
+			err := tc.recv(NewTCPConn(victim))
+			if err == nil {
+				t.Fatal("hostile frame header must be rejected")
+			}
+		})
+	}
+}
+
+func TestTCPModelShapeAndReplyFrames(t *testing.T) {
+	nc1, nc2 := net.Pipe()
+	a, b := NewTCPConn(nc1), NewTCPConn(nc2)
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		_ = a.SendModelShape("cnn", []int{2, 3, 8, 8})
+		_ = a.SendError("no such model")
+		_ = a.SendUint64s([]uint64{11})
+	}()
+	model, shape, err := b.RecvModelShape()
+	if err != nil || model != "cnn" || len(shape) != 4 || shape[0] != 2 {
+		t.Fatalf("tcp model shape: %q %v %v", model, shape, err)
+	}
+	_, errMsg, err := b.RecvReply(4)
+	if err != nil || errMsg != "no such model" {
+		t.Fatalf("tcp error reply: %q %v", errMsg, err)
+	}
+	vals, errMsg, err := b.RecvReply(4)
+	if err != nil || errMsg != "" || len(vals) != 1 || vals[0] != 11 {
+		t.Fatalf("tcp data reply: %v %q %v", vals, errMsg, err)
+	}
+}
+
 func TestTCPKindMismatch(t *testing.T) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
