@@ -68,6 +68,7 @@ import (
 	"pasnet/internal/mpc"
 	"pasnet/internal/nas"
 	"pasnet/internal/pi"
+	"pasnet/internal/sched"
 	"pasnet/internal/tensor"
 	"pasnet/internal/transport"
 )
@@ -100,6 +101,17 @@ type config struct {
 	// model is the client role's target model ID ("" = the single-model
 	// protocol).
 	model string
+	// sched picks the gateway's shard-dispatch policy; pipeline switches
+	// its pairs to the phase-split pipelined flush schedule.
+	sched    string
+	pipeline bool
+	// lifecycle re-dials and re-provisions dead shard pairs with backoff
+	// instead of retiring them (gateway role; the vendor keeps accepting
+	// links to serve the revived generations).
+	lifecycle bool
+	// budgetWarn logs a re-provision warning when a shard's remaining
+	// preprocessed-correlation budget drops below this (0: off).
+	budgetWarn int
 }
 
 func main() {
@@ -121,6 +133,10 @@ func main() {
 	flag.StringVar(&cfg.models, "models", "", "gateway deployment: comma-separated backbones to serve (party 0, gateway and preprocess roles)")
 	flag.IntVar(&cfg.shards, "shards", 1, "gateway deployment: 2PC session pairs per model")
 	flag.StringVar(&cfg.model, "model", "", "client mode: model ID to query (empty: the single-model protocol)")
+	flag.StringVar(&cfg.sched, "sched", "roundrobin", "gateway: shard dispatch policy, roundrobin or queue (queue depth × flush-latency estimate)")
+	flag.BoolVar(&cfg.pipeline, "pipeline", false, "gateway: pipelined flush schedule — overlap one flush's reconstruction with the next flush's input sharing per pair (bit-identical outputs)")
+	flag.BoolVar(&cfg.lifecycle, "lifecycle", false, "gateway/vendor: revive dead shard pairs (re-dial with backoff, fresh streams and stores) instead of retiring them; the vendor accepts links until interrupted")
+	flag.IntVar(&cfg.budgetWarn, "budget-warn", 0, "gateway: log a re-provision warning when a shard's remaining preprocessed budget drops below this many correlations (0: off)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pasnet-server:", err)
@@ -366,6 +382,26 @@ func runMultiVendor(cfg config) error {
 		fmt.Println("party 0: serving from per-shard correlation stores under", cfg.store)
 	}
 	fmt.Printf("party 0: models %v shared across %d shard link(s) on %s\n", reg.Models(), n, cfg.listen)
+	if cfg.lifecycle {
+		// A lifecycle gateway re-dials revived shard generations at
+		// arbitrary times, so the vendor keeps accepting links until
+		// interrupted — and records the provisioning policy so revived
+		// generations get fresh store pairs matching the gateway's.
+		if cfg.store != "" {
+			batches, err := parseBatchSizes(cfg.batches)
+			if err != nil {
+				return err
+			}
+			reg.SetProvision(batches, cfg.flushes)
+		}
+		fmt.Println("party 0: lifecycle mode — accepting shard links (including revivals) until interrupted")
+		gateway.ServeShardsLoop(l, reg, func(err error) {
+			// A dying link is the normal prelude to its revival here, so
+			// log it instead of failing the vendor.
+			fmt.Println("party 0: shard link ended:", err)
+		})
+		return nil
+	}
 	if err := gateway.ServeShards(l, reg, n); err != nil {
 		return err
 	}
@@ -375,25 +411,53 @@ func runMultiVendor(cfg config) error {
 
 // runGateway is the multi-model party 1: it owns one persistent session
 // pair per (model, shard), batches queries per shard, and routes each
-// client query to its model's next healthy shard.
+// client query through the dispatch scheduler (round-robin or
+// queue-aware, serialized or pipelined flushes, optional lifecycle
+// revival of dead pairs).
 func runGateway(cfg config) error {
 	reg, err := buildRegistry(cfg)
 	if err != nil {
 		return err
 	}
+	opts := gateway.RouterOptions{
+		Batch:    cfg.batch,
+		Window:   cfg.window,
+		Pipeline: cfg.pipeline,
+		Dial:     func(gateway.ShardDesc) (transport.Conn, error) { return transport.Dial(cfg.connect) },
+	}
+	switch cfg.sched {
+	case "roundrobin":
+	case "queue":
+		opts.Policy = sched.QueueAware
+	default:
+		return fmt.Errorf("unknown -sched %q (want roundrobin or queue)", cfg.sched)
+	}
+	if cfg.lifecycle {
+		opts.Lifecycle = &sched.LifecycleOptions{}
+		if cfg.store != "" {
+			// Revived generations get fresh store pairs of this coverage;
+			// the vendor derives the same policy from its own flags.
+			batches, err := parseBatchSizes(cfg.batches)
+			if err != nil {
+				return err
+			}
+			reg.SetProvision(batches, cfg.flushes)
+		}
+	}
 	fmt.Printf("gateway: connecting %d shard link(s) to %s\n", reg.TotalShards(), cfg.connect)
-	rt, err := gateway.NewRouter(reg, gateway.RouterOptions{
-		Batch:  cfg.batch,
-		Window: cfg.window,
-		Dial:   func(gateway.ShardDesc) (transport.Conn, error) { return transport.Dial(cfg.connect) },
-	})
+	rt, err := gateway.NewRouter(reg, opts)
 	if err != nil {
 		return err
 	}
 	if cfg.store != "" {
 		fmt.Println("gateway: serving from per-shard correlation stores under", cfg.store)
 	}
-	fmt.Printf("gateway: sessions up, batching up to %d queries per %v window per shard\n", cfg.batch, cfg.window)
+	fmt.Printf("gateway: sessions up (%s dispatch%s), batching up to %d queries per %v window per shard\n",
+		cfg.sched, map[bool]string{true: ", pipelined flushes"}[cfg.pipeline], cfg.batch, cfg.window)
+	stopMonitor := make(chan struct{})
+	if cfg.budgetWarn > 0 {
+		go budgetMonitor(rt, cfg.budgetWarn, stopMonitor)
+	}
 
 	var serveErr error
 	if cfg.clientListen == "" {
@@ -403,20 +467,61 @@ func runGateway(cfg config) error {
 			return handleGatewayClient(tc, rt, reg)
 		})
 	}
+	close(stopMonitor)
 	if err := rt.Close(); err != nil {
 		return err
 	}
 	for _, st := range rt.Status() {
 		line := fmt.Sprintf("gateway: %s shard %d served %d queries in %d flushes", st.Model, st.Shard, st.Queries, st.Flushes)
+		if st.EWMAFlushMS > 0 || st.EWMARowMS > 0 {
+			line += fmt.Sprintf(" (≈%.1fms + %.2fms/row per flush, speed ×%.2f)", st.EWMAFlushMS, st.EWMARowMS, st.Speed)
+		}
+		if st.Budget >= 0 {
+			line += fmt.Sprintf(" (budget: %d correlations left)", st.Budget)
+		}
 		if st.Fallbacks > 0 {
 			line += fmt.Sprintf(" (%d fell back to the live dealer — geometry not preprocessed)", st.Fallbacks)
 		}
-		if st.Down != "" {
+		if st.Revived > 0 {
+			line += fmt.Sprintf(" (revived ×%d, generation %d)", st.Revived, st.Gen)
+		}
+		if st.Quarantined {
+			line += " (QUARANTINED: " + st.Down + ")"
+		} else if st.Down != "" {
 			line += " (down: " + st.Down + ")"
 		}
 		fmt.Println(line)
 	}
 	return serveErr
+}
+
+// budgetMonitor polls the router's status and logs a re-provision warning
+// the first time each shard generation's remaining preprocessed budget
+// drops below the threshold — the operator's cue to re-provision before
+// exhaustion kills the pair mid-deployment (ROADMAP's budget telemetry).
+func budgetMonitor(rt *gateway.Router, threshold int, stop <-chan struct{}) {
+	warned := map[string]bool{}
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		for _, st := range rt.Status() {
+			if st.Budget < 0 || st.Budget >= threshold || st.Down != "" {
+				continue
+			}
+			key := fmt.Sprintf("%s/%d@%d", st.Model, st.Shard, st.Gen)
+			if warned[key] {
+				continue
+			}
+			warned[key] = true
+			fmt.Printf("gateway: WARNING: %s shard %d (generation %d) is down to %d preprocessed correlations (< %d) — re-provision before exhaustion\n",
+				st.Model, st.Shard, st.Gen, st.Budget, threshold)
+		}
+	}
 }
 
 // runGatewayLocalQueries is the gateway's in-process multi-query mode:

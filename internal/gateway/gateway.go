@@ -19,6 +19,7 @@
 package gateway
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -128,31 +129,108 @@ type Registry struct {
 	// (value: "model/shard"), so no two pairs — of any model — can ever
 	// share a correlation stream.
 	seeds map[uint64]string
-	// claims tracks which (model, shard) pairs a vendor has already
-	// accepted a link for, so a second hello claiming the same shard —
+	// claims tracks each (model, shard) pair's serving claim: the highest
+	// lifecycle generation ever claimed, and whether that generation's
+	// link is still live. A hello claiming a generation already burned —
 	// which would run a second protocol execution off the identical
-	// dealer stream — is rejected instead of served.
-	claims map[string]bool
+	// dealer stream — is rejected, and so is any claim while a live link
+	// still serves the pair (a revival is only legitimate once the prior
+	// pair is actually dead; anything else is a misconfigured second
+	// gateway or a hostile replayed hello). Accepted revival claims run a
+	// fresh stream (ReviveSeed), never the dead pair's.
+	claims map[string]shardClaim
+	// provision remembers the parameters of the last store provisioning
+	// (WriteShardStores / SetProvision), so revived shards can be
+	// re-provisioned a fresh store pair instead of degrading to the live
+	// dealer. Nil: revived shards run live.
+	provision *ProvisionPolicy
+	// tapes caches demand tapes per (model, geometry) and progs compiled
+	// programs per model across provisioning runs, so a revival never
+	// re-traces — or recompiles — what a prior run already did.
+	tapes map[string]corr.Tape
+	progs map[string]*pi.Program
+	// provMu serializes store (re-)provisioning within this process.
+	provMu sync.Mutex
 }
+
+// ProvisionPolicy records how shard stores are provisioned: which flush
+// batch geometries are covered and how many flushes each store holds.
+type ProvisionPolicy struct {
+	Batches []int
+	Flushes int
+}
+
+// shardClaim is one (model, shard) pair's serving-claim state.
+type shardClaim struct {
+	gen  int
+	live bool
+}
+
+// errPairStillLive marks a shard claim rejected only because the pair's
+// previous link is still live — the one hello rejection a revival should
+// retry (the vendor simply has not noticed the torn link yet) rather
+// than strike toward quarantine.
+var errPairStillLive = errors.New("gateway: pair still has a live link")
+
+// RetryableAckPrefix tags a hello-rejection ack the dialing side should
+// retry after backoff instead of treating as a dead endpoint. An
+// explicit wire token, so the retry decision never rests on parsing
+// error prose (which version skew between the two processes could
+// reword).
+const RetryableAckPrefix = "!retry "
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{specs: map[string]*ModelSpec{}, seeds: map[uint64]string{}, claims: map[string]bool{}}
+	return &Registry{specs: map[string]*ModelSpec{}, seeds: map[uint64]string{}, claims: map[string]shardClaim{}, tapes: map[string]corr.Tape{}, progs: map[string]*pi.Program{}}
 }
 
-// claimShard reserves one (model, shard) pair for a vendor link. Claims
-// are permanent for the registry's lifetime: shards are never re-dialed
-// in a deployment, so a duplicate claim is always either a misconfigured
-// second gateway or a hostile peer replaying the hello.
-func (r *Registry) claimShard(model string, shard int) error {
+// SetProvision records the store-provisioning policy without writing
+// stores — the two-process deployment shape, where the preprocess role
+// wrote the files and the serving processes only need to know the
+// parameters to re-provision revived shards consistently on both sides.
+func (r *Registry) SetProvision(batches []int, flushes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.provision = &ProvisionPolicy{Batches: append([]int(nil), batches...), Flushes: flushes}
+}
+
+// Provision returns the recorded provisioning policy (nil: none).
+func (r *Registry) Provision() *ProvisionPolicy {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.provision
+}
+
+// claimShard reserves one (model, shard) pair at a lifecycle generation
+// for a vendor link. A claim is rejected while the pair's previous link
+// is still live (whatever the generation — only a dead pair may be
+// revived) and for any generation at or below one already burned; the
+// serving loop releases the claim's liveness when its link ends
+// (releaseShard), keeping the generation burned forever.
+func (r *Registry) claimShard(model string, shard, gen int) error {
 	key := fmt.Sprintf("%s/%d", model, shard)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.claims[key] {
-		return fmt.Errorf("gateway: model %q shard %d is already served by another link — a second pair on the same dealer seed would reuse its correlation stream", model, shard)
+	prev, ok := r.claims[key]
+	if ok && prev.live {
+		return fmt.Errorf("gateway: model %q shard %d is already served by a live link at generation %d — a second pair on the same dealer seed would reuse its correlation stream: %w", model, shard, prev.gen, errPairStillLive)
 	}
-	r.claims[key] = true
+	if ok && gen <= prev.gen {
+		return fmt.Errorf("gateway: model %q shard %d was already served at generation %d — a revival must claim a strictly newer generation", model, shard, prev.gen)
+	}
+	r.claims[key] = shardClaim{gen: gen, live: true}
 	return nil
+}
+
+// releaseShard marks a claim's link dead (the generation stays burned).
+func (r *Registry) releaseShard(model string, shard, gen int) {
+	key := fmt.Sprintf("%s/%d", model, shard)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.claims[key]; ok && c.gen == gen {
+		c.live = false
+		r.claims[key] = c
+	}
 }
 
 // Register validates and adds one model spec. Shard Model/Shard fields may
@@ -254,6 +332,31 @@ func ShardStoreDir(root, model string, shard int) string {
 	return filepath.Join(root, model, fmt.Sprintf("shard%d", shard))
 }
 
+// ReviveSeed derives the dealer seed of one shard pair's lifecycle
+// generation. Generation 0 is the registered seed; each revival mixes the
+// generation in, so a revived pair draws a completely fresh correlation
+// stream — re-running the dead pair's stream from the top would reuse
+// one-time correlation randomness across two protocol executions with
+// different inputs, exactly what registry-wide seed uniqueness exists to
+// prevent.
+func ReviveSeed(seed uint64, gen int) uint64 {
+	if gen == 0 {
+		return seed
+	}
+	return rng.MixSeed(seed, 0x726576697665, uint64(gen))
+}
+
+// GenStoreDir is a revived generation's store directory: a gen<N>
+// subdirectory of the shard's registered store dir, so fresh store pairs
+// never collide with the originals (whose streams the dead pair partly
+// consumed).
+func GenStoreDir(desc ShardDesc, gen int) string {
+	if gen == 0 {
+		return desc.StoreDir
+	}
+	return filepath.Join(desc.StoreDir, fmt.Sprintf("gen%d", gen))
+}
+
 // Shards builds n shard descriptors for one model: per-shard dealer seeds
 // off baseSeed, and per-shard store directories under storeRoot (empty
 // storeRoot keeps every shard on the live dealer).
@@ -288,22 +391,15 @@ func WriteShardStores(reg *Registry, batches []int, flushes int) ([]string, erro
 		if err != nil {
 			return nil, err
 		}
-		prog, err := pi.Compile(spec.Model.Net)
-		if err != nil {
-			return nil, fmt.Errorf("gateway: compile model %q: %w", id, err)
-		}
-		// One demand trace per (model, geometry), shared by every shard:
-		// the tape depends only on program and shape, never on the shard's
-		// randomness.
-		tapes := make([]corr.Tape, len(batches))
 		shapes := make([][]int, len(batches))
+		tapes := make([]corr.Tape, len(batches))
 		for i, k := range batches {
 			if k < 1 {
 				return nil, fmt.Errorf("gateway: bad preprocess batch size %d", k)
 			}
 			shapes[i] = append([]int{k}, spec.Input...)
-			if tapes[i], err = pi.TraceTape(prog, shapes[i]); err != nil {
-				return nil, fmt.Errorf("gateway: model %q geometry %v: %w", id, shapes[i], err)
+			if tapes[i], err = reg.tapeFor(spec, shapes[i]); err != nil {
+				return nil, err
 			}
 		}
 		for _, desc := range spec.Shards {
@@ -326,5 +422,103 @@ func WriteShardStores(reg *Registry, batches []int, flushes int) ([]string, erro
 			}
 		}
 	}
+	// Remember the parameters so revived shards can be re-provisioned
+	// fresh stores of the same coverage (ReprovisionShardStore).
+	reg.SetProvision(batches, flushes)
 	return paths, nil
+}
+
+// tapeFor returns the demand tape of one (model, geometry), tracing it at
+// most once per registry: the tape depends only on program and shape,
+// never on any shard's randomness, so provisioning and every later
+// revival share it.
+func (r *Registry) tapeFor(spec *ModelSpec, shape []int) (corr.Tape, error) {
+	key := fmt.Sprintf("%s %v", spec.ID, shape)
+	r.mu.Lock()
+	tape, ok := r.tapes[key]
+	prog := r.progs[spec.ID]
+	r.mu.Unlock()
+	if ok {
+		return tape, nil
+	}
+	if prog == nil {
+		var err error
+		if prog, err = pi.Compile(spec.Model.Net); err != nil {
+			return nil, fmt.Errorf("gateway: compile model %q: %w", spec.ID, err)
+		}
+		r.mu.Lock()
+		r.progs[spec.ID] = prog
+		r.mu.Unlock()
+	}
+	tape, err := pi.TraceTape(prog, shape)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: model %q geometry %v: %w", spec.ID, shape, err)
+	}
+	r.mu.Lock()
+	r.tapes[key] = tape
+	r.mu.Unlock()
+	return tape, nil
+}
+
+// ReprovisionShardStore writes one revived shard generation's fresh store
+// pair: every geometry of the recorded provisioning policy, off the
+// generation's fresh stream (ReviveSeed), into the generation's own store
+// directory. Both sides of a deployment run it independently and
+// deterministically — the files are pure functions of (tape, seed), and
+// WriteStorePair publishes them by atomic rename — so whichever process
+// writes first wins with identical bytes; files already present are kept
+// (idempotent). It errors when the registry has no recorded provisioning
+// policy: the caller should then revive the shard onto the live dealer
+// instead.
+func ReprovisionShardStore(reg *Registry, model string, shard, gen int) ([]string, error) {
+	spec, err := reg.Lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	if shard < 0 || shard >= len(spec.Shards) {
+		return nil, fmt.Errorf("gateway: model %q has no shard %d", model, shard)
+	}
+	desc := spec.Shards[shard]
+	if desc.StoreDir == "" {
+		return nil, fmt.Errorf("gateway: model %q shard %d has no store dir to re-provision", model, shard)
+	}
+	policy := reg.Provision()
+	if policy == nil {
+		return nil, fmt.Errorf("gateway: no provisioning policy recorded for re-provisioning model %q shard %d (call WriteShardStores or SetProvision)", model, shard)
+	}
+	reg.provMu.Lock()
+	defer reg.provMu.Unlock()
+	dir := GenStoreDir(desc, gen)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("gateway: revival store dir: %w", err)
+	}
+	seed := ReviveSeed(desc.Seed, gen)
+	var paths []string
+	for _, k := range policy.Batches {
+		shape := append([]int{k}, spec.Input...)
+		if storePairExists(dir, shape) {
+			continue
+		}
+		tape, err := reg.tapeFor(spec, shape)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := pi.WriteStorePair(tape, pi.StoreSeed(seed, shape), shape, policy.Flushes, dir)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: re-provision model %q shard %d gen %d: %w", model, shard, gen, err)
+		}
+		paths = append(paths, ps...)
+	}
+	return paths, nil
+}
+
+// storePairExists reports whether both parties' store files for a
+// geometry are already present in dir.
+func storePairExists(dir string, shape []int) bool {
+	for party := 0; party < 2; party++ {
+		if _, err := os.Stat(filepath.Join(dir, corr.FileName(party, shape))); err != nil {
+			return false
+		}
+	}
+	return true
 }

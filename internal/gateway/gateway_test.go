@@ -80,7 +80,7 @@ func directShardRun(t *testing.T, spec *ModelSpec, desc ShardDesc, queries []*te
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		p0 := mpc.NewParty(0, c0, desc.Seed, shardPrivSeed(desc, 0), codec)
+		p0 := mpc.NewParty(0, c0, desc.Seed, shardPrivSeed(desc.Seed, 0), codec)
 		sess, err := pi.NewSession(p0, spec.Model, append([]int{0}, spec.Input...))
 		if err != nil {
 			serveErr = err
@@ -91,7 +91,7 @@ func directShardRun(t *testing.T, spec *ModelSpec, desc ShardDesc, queries []*te
 		}
 		serveErr = sess.Serve()
 	}()
-	p1 := mpc.NewParty(1, c1, desc.Seed, shardPrivSeed(desc, 1), codec)
+	p1 := mpc.NewParty(1, c1, desc.Seed, shardPrivSeed(desc.Seed, 1), codec)
 	sess, err := pi.NewSession(p1, spec.Model, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -2,107 +2,82 @@ package gateway
 
 import (
 	"fmt"
+	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"pasnet/internal/fixed"
 	"pasnet/internal/mpc"
 	"pasnet/internal/pi"
 	"pasnet/internal/rng"
+	"pasnet/internal/sched"
 	"pasnet/internal/tensor"
 	"pasnet/internal/transport"
 )
 
-// RouterOptions configures a Router's per-shard serving stack.
+// RouterOptions configures a Router's per-shard serving stack and its
+// dispatch scheduler.
 type RouterOptions struct {
-	// Batch is each shard batcher's max queries per flush (minimum 1).
+	// Batch is each shard lane's max queries per flush (minimum 1).
 	Batch int
-	// Window is each shard batcher's max wait before flushing a partial
-	// batch (zero: only the count threshold triggers).
+	// Window is how long a flush that already has work waits for more
+	// queries to fill the batch. The dispatcher is work-conserving —
+	// whatever is queued flushes the moment its lane's session is free —
+	// so zero (the default) never strands work; a positive window only
+	// trades a little latency for fuller batches.
 	Window time.Duration
+	// Policy picks shards: sched.RoundRobin (default, the pre-scheduler
+	// behavior) or sched.QueueAware (queue depth × EWMA flush latency).
+	Policy sched.Policy
+	// Pipeline runs each shard pair on the phase-split pipelined flush
+	// schedule (sched.PipelinedSession): flush n+1's input sharing
+	// overlaps flush n's output reconstruction, hiding a protocol round
+	// per flush. Bit-identical to the serialized schedule (the sched
+	// equivalence suite pins this).
+	Pipeline bool
+	// QueueCap bounds each shard lane's pending queue in queries
+	// (default 256); a submission to a full lane blocks, never drops.
+	QueueCap int
+	// Lifecycle, when non-nil, re-dials and re-provisions dead shard
+	// pairs with backoff instead of retiring them, quarantining pairs
+	// that keep dying. Revived pairs run fresh dealer streams and — when
+	// the registry records a provisioning policy — fresh store pairs
+	// under per-generation directories.
+	Lifecycle *sched.LifecycleOptions
 	// Dial opens the party-1 side of one shard's 2PC link. Nil dials
 	// desc.Endpoint over TCP; in-process deployments pass a Loopback's
 	// Dial, tests substitute pipes.
 	Dial func(desc ShardDesc) (transport.Conn, error)
 }
 
-// shard is one live (model, shard) serving stack: the 2PC link, the
-// persistent session, and the request batcher in front of it.
-type shard struct {
-	desc    ShardDesc
-	conn    transport.Conn
-	sess    *pi.Session
-	batcher *pi.Batcher
-	queries atomic.Int64
-	flushes atomic.Int64
-
-	mu   sync.Mutex
-	down error
-}
-
-// fail marks the shard dead on its first terminal error. The 2PC session
-// is a lockstep two-party program, so any flush failure poisons the pair:
-// the link is closed and the shard never serves again.
-func (s *shard) fail(err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.down == nil {
-		s.down = err
-		s.conn.Close()
-	}
-}
-
-func (s *shard) downErr() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.down
-}
-
-// ShardStatus is one shard's routing bookkeeping snapshot.
-type ShardStatus struct {
-	Model   string
-	Shard   int
-	Queries int64
-	Flushes int64
-	// Fallbacks counts flushes this shard's session degraded to the live
-	// dealer because its store provider missed the flush geometry — the
-	// signal that "store-fed" latency numbers are quietly live-dealer ones.
-	Fallbacks int
-	// Down is empty while the shard serves; after a terminal failure it
-	// holds the error that killed the pair.
-	Down string
-}
+// ShardStatus is one shard lane's routing and scheduling snapshot — the
+// dispatcher's own status type, aliased so the two layers can never
+// drift field-by-field.
+type ShardStatus = sched.ShardStatus
 
 // Router demultiplexes client queries for many registered models across
 // independent 2PC session pairs. Every (model, shard) gets its own
-// persistent pi.Session and pi.Batcher; queries for one model round-robin
-// across that model's healthy shards and fail over to the next shard when
-// a pair dies. It is the layer cmd/pasnet-server's gateway role serves
-// clients through.
+// persistent session and bounded dispatch lane; a sched.Dispatcher picks
+// the lane per query (round-robin or queue-aware), fails queries over
+// when a pair dies, and — with a lifecycle enabled — revives dead pairs
+// on fresh streams instead of retiring them. It is the layer
+// cmd/pasnet-server's gateway role serves clients through.
 type Router struct {
-	reg    *Registry
-	shards map[string][]*shard
-	rr     map[string]*atomic.Uint64
+	reg  *Registry
+	opts RouterOptions
+	disp *sched.Dispatcher
+	dial func(desc ShardDesc) (transport.Conn, error)
 }
 
 // NewRouter connects and sets up every registered shard: per (model,
 // shard) it dials the shard's party-0 peer, performs the hello handshake
 // naming the shard, establishes the persistent session (one-time weight
-// sharing), installs the shard's preprocessed store provider, and builds
-// the request batcher. Shards connect concurrently; any failure tears
-// everything down and surfaces the first error.
+// sharing), installs the shard's preprocessed store provider, and
+// registers the lane with the dispatcher. Shards connect concurrently;
+// any failure tears everything down and surfaces the first error.
 func NewRouter(reg *Registry, opts RouterOptions) (*Router, error) {
 	if opts.Batch < 1 {
 		opts.Batch = 1
-	}
-	// A multi-query batcher without a window can strand work forever: a
-	// trailing partial batch — or a failover resubmission arriving alone —
-	// waits for a count threshold that never fills. The count-only mode is
-	// a test convenience of pi.Batcher, never a deployment shape, so the
-	// router forces a flush window whenever batching is on.
-	if opts.Batch > 1 && opts.Window <= 0 {
-		opts.Window = 50 * time.Millisecond
 	}
 	dial := opts.Dial
 	if dial == nil {
@@ -113,29 +88,42 @@ func NewRouter(reg *Registry, opts RouterOptions) (*Router, error) {
 			return transport.Dial(desc.Endpoint)
 		}
 	}
-	rt := &Router{reg: reg, shards: map[string][]*shard{}, rr: map[string]*atomic.Uint64{}}
-	// All map entries exist before any connect goroutine starts, so the
-	// goroutines only ever write into their own pre-sized slice slots.
-	specs := make([]*ModelSpec, 0, len(reg.Models()))
+	rt := &Router{
+		reg:  reg,
+		opts: opts,
+		dial: dial,
+		disp: sched.NewDispatcher(sched.Options{
+			Batch:    opts.Batch,
+			Window:   opts.Window,
+			Policy:   opts.Policy,
+			QueueCap: opts.QueueCap,
+		}),
+	}
+	// Connect concurrently into pre-sized slots, then register lanes in
+	// (model, shard) order: lane order fixes both the Status layout and
+	// the round-robin rotation, which must not depend on connection
+	// completion order.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	slots := map[string][]sched.FlushSession{}
+	specs := map[string]*ModelSpec{}
 	for _, id := range reg.Models() {
 		spec, err := reg.Lookup(id)
 		if err != nil {
 			return nil, err
 		}
-		rt.shards[id] = make([]*shard, len(spec.Shards))
-		rt.rr[id] = &atomic.Uint64{}
-		specs = append(specs, spec)
+		specs[id] = spec
+		slots[id] = make([]sched.FlushSession, len(spec.Shards))
 	}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-	for _, spec := range specs {
-		slots := rt.shards[spec.ID]
+	for _, id := range reg.Models() {
+		spec := specs[id]
+		lanes := slots[id]
 		for i := range spec.Shards {
 			wg.Add(1)
-			go func(spec *ModelSpec, slots []*shard, i int) {
+			go func(spec *ModelSpec, lanes []sched.FlushSession, i int) {
 				defer wg.Done()
-				s, err := connectShard(spec, spec.Shards[i], dial, opts)
+				sess, err := rt.connectShard(spec, spec.Shards[i], 0)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -144,28 +132,51 @@ func NewRouter(reg *Registry, opts RouterOptions) (*Router, error) {
 					mu.Unlock()
 					return
 				}
-				slots[i] = s
-			}(spec, slots, i)
+				lanes[i] = sess
+			}(spec, lanes, i)
 		}
 	}
 	wg.Wait()
 	if firstErr != nil {
-		rt.Close()
+		for _, lanes := range slots {
+			for _, sess := range lanes {
+				if sess != nil {
+					sess.Kill()
+				}
+			}
+		}
 		return nil, firstErr
+	}
+	for _, id := range reg.Models() {
+		for i, sess := range slots[id] {
+			if err := rt.disp.AddShard(id, i, sess); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if opts.Lifecycle != nil {
+		rt.disp.EnableLifecycle(rt.reviveShard, *opts.Lifecycle)
 	}
 	return rt, nil
 }
 
-// connectShard establishes one shard's serving stack.
-func connectShard(spec *ModelSpec, desc ShardDesc, dial func(ShardDesc) (transport.Conn, error), opts RouterOptions) (*shard, error) {
-	conn, err := dial(desc)
+// connectShard establishes one shard's serving stack at a lifecycle
+// generation: dial, hello handshake, session setup, store provider, and
+// the flush-schedule wrapper the dispatcher drives.
+func (rt *Router) connectShard(spec *ModelSpec, desc ShardDesc, gen int) (sched.FlushSession, error) {
+	conn, err := rt.dial(desc)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: dial model %q shard %d: %w", desc.Model, desc.Shard, err)
 	}
-	// Hello handshake: name the (model, shard) this link serves, then wait
-	// for the vendor's acceptance before the expensive weight sharing. A
-	// non-empty reply is the vendor's rejection reason.
-	if err := conn.SendModelShape(desc.Model, []int{desc.Shard}); err != nil {
+	// Hello handshake: name the (model, shard) — and, for revivals, the
+	// generation — this link serves, then wait for the vendor's acceptance
+	// before the expensive weight sharing. A non-empty reply is the
+	// vendor's rejection reason.
+	hello := []int{desc.Shard}
+	if gen > 0 {
+		hello = append(hello, gen)
+	}
+	if err := conn.SendModelShape(desc.Model, hello); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("gateway: shard hello: %w", err)
 	}
@@ -176,16 +187,36 @@ func connectShard(spec *ModelSpec, desc ShardDesc, dial func(ShardDesc) (transpo
 	}
 	if len(ack) > 0 {
 		conn.Close()
+		// A retry-tagged rejection (the prior generation's link is still
+		// live — the vendor has not yet noticed the torn pair, perhaps
+		// deep in a compute between conn ops) is not a failing endpoint:
+		// tell the lifecycle to back off without a strike instead of
+		// marching a healthy shard toward quarantine.
+		if gen > 0 && strings.HasPrefix(string(ack), RetryableAckPrefix) {
+			return nil, fmt.Errorf("gateway: vendor rejected model %q shard %d: %s: %w", desc.Model, desc.Shard, ack, sched.ErrReviveLater)
+		}
 		return nil, fmt.Errorf("gateway: vendor rejected model %q shard %d: %s", desc.Model, desc.Shard, ack)
 	}
-	p := mpc.NewParty(1, conn, desc.Seed, shardPrivSeed(desc, 1), fixed.Default64())
+	// Revived generations mirror the vendor's derivation: fresh dealer
+	// stream, and a fresh per-generation store pair when a provisioning
+	// policy exists (the live dealer otherwise).
+	seed := ReviveSeed(desc.Seed, gen)
+	storeDir := desc.StoreDir
+	if gen > 0 && storeDir != "" {
+		if rt.reg.Provision() != nil {
+			storeDir = GenStoreDir(desc, gen)
+		} else {
+			storeDir = ""
+		}
+	}
+	p := mpc.NewParty(1, conn, seed, shardPrivSeed(seed, 1), fixed.Default64())
 	sess, err := pi.NewSession(p, spec.Model, nil)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("gateway: model %q shard %d session: %w", desc.Model, desc.Shard, err)
 	}
-	if desc.StoreDir != "" {
-		dp := pi.NewDirProvider(desc.StoreDir)
+	if storeDir != "" {
+		dp := pi.NewDirProvider(storeDir)
 		// Deserialization belongs to setup, not to any flush's online path.
 		if err := dp.Preload(1); err != nil {
 			conn.Close()
@@ -193,39 +224,37 @@ func connectShard(spec *ModelSpec, desc ShardDesc, dial func(ShardDesc) (transpo
 		}
 		sess.UsePreprocessed(dp)
 	}
-	s := &shard{desc: desc, conn: conn, sess: sess}
-	s.batcher = pi.NewBatcher(opts.Batch, opts.Window, func(b *tensor.Tensor) ([]float64, error) {
-		s.flushes.Add(1)
-		return sess.Query(b)
-	})
-	return s, nil
+	if rt.opts.Pipeline {
+		return sched.NewPipelinedSession(sess, conn), nil
+	}
+	return sched.NewSerializedSession(sess, conn), nil
+}
+
+// reviveShard is the lifecycle's ReviveFunc: re-provision the shard's
+// store pair for the new generation (when a provisioning policy exists)
+// and re-dial the pair at that generation.
+func (rt *Router) reviveShard(model string, shard, gen int) (sched.FlushSession, error) {
+	spec, err := rt.reg.Lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	if shard < 0 || shard >= len(spec.Shards) {
+		return nil, fmt.Errorf("gateway: model %q has no shard %d to revive", model, shard)
+	}
+	desc := spec.Shards[shard]
+	if desc.StoreDir != "" && rt.reg.Provision() != nil {
+		if _, err := ReprovisionShardStore(rt.reg, model, shard, gen); err != nil {
+			return nil, err
+		}
+	}
+	return rt.connectShard(spec, desc, gen)
 }
 
 // shardPrivSeed derives a party's private randomness seed for one shard
-// pair. It only needs to differ from the peer's; deriving it from the
-// shard seed keeps deployments reproducible.
-func shardPrivSeed(desc ShardDesc, party int) uint64 {
-	return rng.MixSeed(desc.Seed, 0x9e3779b9, uint64(party)+1)
-}
-
-// pick returns the next healthy shard for a model, round-robin. The
-// offset parameter rotates past shards already tried by a failing query.
-func (rt *Router) pick(model string) (*shard, error) {
-	shards, ok := rt.shards[model]
-	if !ok {
-		return nil, fmt.Errorf("gateway: no model %q routed", model)
-	}
-	start := rt.rr[model].Add(1) - 1
-	var lastErr error
-	for i := 0; i < len(shards); i++ {
-		s := shards[(int(start)+i)%len(shards)]
-		if err := s.downErr(); err != nil {
-			lastErr = err
-			continue
-		}
-		return s, nil
-	}
-	return nil, fmt.Errorf("gateway: all %d shard(s) of model %q are down: %w", len(shards), model, lastErr)
+// pair generation. It only needs to differ from the peer's; deriving it
+// from the pair's dealer seed keeps deployments reproducible.
+func shardPrivSeed(seed uint64, party int) uint64 {
+	return rng.MixSeed(seed, 0x9e3779b9, uint64(party)+1)
 }
 
 // Submit routes one query to the named model and blocks for its logits.
@@ -234,12 +263,15 @@ func (rt *Router) Submit(model string, x *tensor.Tensor) ([]float64, error) {
 }
 
 // SubmitAsync routes one query and returns a wait function, so a
-// connection reader can enqueue a pipelined stream without blocking
-// (mirroring pi.Batcher.SubmitAsync). The query is validated against the
-// model's registered geometry before it can touch any batcher. When the
-// flush carrying the query fails, the shard is marked down and the query
-// transparently fails over to the model's remaining healthy shards; only
-// when every shard is down does the wait return an error.
+// connection reader can enqueue a stream of queries before collecting
+// any reply. The enqueue itself applies backpressure: on a saturated
+// fleet (the picked lane's queue at QueueCap), SubmitAsync blocks until
+// a slot opens — callers that must never stall should not also be
+// responsible for draining a dispatch queue. The query is validated
+// against the model's registered geometry before it can touch any
+// dispatch lane; the dispatcher then picks the shard, fails the query
+// over if its pair dies mid-flush, and rejects it descriptively once the
+// router is closed or every shard is down.
 func (rt *Router) SubmitAsync(model string, x *tensor.Tensor) func() ([]float64, error) {
 	spec, err := rt.reg.Lookup(model)
 	if err != nil {
@@ -248,77 +280,23 @@ func (rt *Router) SubmitAsync(model string, x *tensor.Tensor) func() ([]float64,
 	if _, err := spec.ValidateQuery(x.Shape); err != nil {
 		return failedWait(err)
 	}
-	s, err := rt.pick(model)
-	if err != nil {
-		return failedWait(err)
-	}
-	s.queries.Add(1)
-	wait := s.batcher.SubmitAsync(x)
-	return func() ([]float64, error) {
-		logits, err := wait()
-		for err != nil {
-			s.fail(err)
-			if s, err = rt.pick(model); err != nil {
-				return nil, err
-			}
-			s.queries.Add(1)
-			logits, err = s.batcher.Submit(x)
-		}
-		return logits, nil
-	}
+	return rt.disp.SubmitAsync(model, x)
 }
 
-// Status snapshots every shard's routing bookkeeping, grouped by model in
-// registration order.
+// Status snapshots every shard lane's routing and scheduling bookkeeping,
+// grouped by model in registration order.
 func (rt *Router) Status() []ShardStatus {
-	var out []ShardStatus
-	for _, id := range rt.reg.Models() {
-		for _, s := range rt.shards[id] {
-			if s == nil {
-				continue
-			}
-			st := ShardStatus{Model: id, Shard: s.desc.Shard, Queries: s.queries.Load(), Flushes: s.flushes.Load(), Fallbacks: s.sess.Fallbacks()}
-			if err := s.downErr(); err != nil {
-				st.Down = err.Error()
-			}
-			out = append(out, st)
-		}
-	}
-	return out
+	return rt.disp.Status()
 }
 
-// Close drains every shard's batcher, sends each healthy pair the
-// end-of-session sentinel, and closes the links. The first sentinel-send
-// failure on a healthy pair is returned — a shutdown that could not close
-// cleanly should be visible, not swallowed.
+// Close shuts the router down gracefully: new submissions are rejected
+// with a descriptive error, everything already queued drains through
+// final flushes, each healthy pair gets the end-of-session sentinel, and
+// the links close. The first close failure on a healthy pair is returned
+// — a shutdown that could not close cleanly should be visible, not
+// swallowed. Idempotent, and safe to race with submissions.
 func (rt *Router) Close() error {
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for _, shards := range rt.shards {
-		for _, s := range shards {
-			if s == nil {
-				continue
-			}
-			wg.Add(1)
-			go func(s *shard) {
-				defer wg.Done()
-				s.batcher.Close()
-				if s.downErr() == nil {
-					if err := s.sess.Close(); err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = fmt.Errorf("gateway: close model %q shard %d: %w", s.desc.Model, s.desc.Shard, err)
-						}
-						mu.Unlock()
-					}
-				}
-				s.conn.Close()
-			}(s)
-		}
-	}
-	wg.Wait()
-	return firstErr
+	return rt.disp.Close()
 }
 
 // failedWait adapts an immediate routing error to the wait-function shape.

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -23,9 +24,19 @@ import (
 // ServeShardConn serves the party-0 side of one shard link to completion.
 // The hello is answered before any weight sharing: an empty ack accepts,
 // a non-empty ack carries the rejection reason (unknown model, bad shard
-// index) so the router fails fast with a descriptive error instead of
-// hanging in setup.
+// index, stale generation) so the router fails fast with a descriptive
+// error instead of hanging in setup. A hello of [shard] serves the
+// original pair; [shard, gen] with gen > 0 is a lifecycle revival — the
+// pair runs a fresh dealer stream (ReviveSeed) and, when the registry
+// records a provisioning policy, a freshly re-provisioned store pair in
+// the generation's own directory (otherwise the revived pair serves from
+// the live dealer; the registered store would replay a stream the dead
+// pair already partly consumed).
 func ServeShardConn(conn transport.Conn, reg *Registry) error {
+	// The link is owned here on every path — rejected hellos included —
+	// so a lifecycle vendor accepting revival dials for months never
+	// accumulates dead descriptors.
+	defer conn.Close()
 	model, hello, err := conn.RecvModelShape()
 	if err != nil {
 		return fmt.Errorf("gateway: shard hello: %w", err)
@@ -35,27 +46,59 @@ func ServeShardConn(conn transport.Conn, reg *Registry) error {
 		_ = conn.SendBytes([]byte(err.Error()))
 		return err
 	}
-	if len(hello) != 1 || hello[0] < 0 || hello[0] >= len(spec.Shards) {
+	if len(hello) < 1 || len(hello) > 2 || hello[0] < 0 || hello[0] >= len(spec.Shards) {
 		err := fmt.Errorf("gateway: model %q has no shard %v (have %d)", model, hello, len(spec.Shards))
 		_ = conn.SendBytes([]byte(err.Error()))
 		return err
 	}
-	if err := reg.claimShard(model, hello[0]); err != nil {
+	gen := 0
+	if len(hello) == 2 {
+		gen = hello[1]
+	}
+	if gen < 0 {
+		err := fmt.Errorf("gateway: model %q shard %d hello names negative generation %d", model, hello[0], gen)
 		_ = conn.SendBytes([]byte(err.Error()))
 		return err
 	}
+	if err := reg.claimShard(model, hello[0], gen); err != nil {
+		// A still-live prior link is the one rejection the dialer should
+		// retry (the vendor just hasn't noticed the torn pair yet); the
+		// ack carries the explicit retry token, not error prose.
+		msg := err.Error()
+		if errors.Is(err, errPairStillLive) {
+			msg = RetryableAckPrefix + msg
+		}
+		_ = conn.SendBytes([]byte(msg))
+		return err
+	}
+	// The claim's liveness ends with this link, so a lifecycle revival
+	// can claim the next generation — but only once this pair is gone.
+	defer reg.releaseShard(model, hello[0], gen)
 	desc := spec.Shards[hello[0]]
+	storeDir := desc.StoreDir
+	if gen > 0 && storeDir != "" {
+		if reg.Provision() != nil {
+			if _, err := ReprovisionShardStore(reg, model, desc.Shard, gen); err != nil {
+				_ = conn.SendBytes([]byte(err.Error()))
+				return err
+			}
+			storeDir = GenStoreDir(desc, gen)
+		} else {
+			storeDir = ""
+		}
+	}
 	if err := conn.SendBytes(nil); err != nil {
 		return fmt.Errorf("gateway: shard hello ack: %w", err)
 	}
-	p := mpc.NewParty(0, conn, desc.Seed, shardPrivSeed(desc, 0), fixed.Default64())
+	seed := ReviveSeed(desc.Seed, gen)
+	p := mpc.NewParty(0, conn, seed, shardPrivSeed(seed, 0), fixed.Default64())
 	expect := append([]int{0}, spec.Input...)
 	sess, err := pi.NewSession(p, spec.Model, expect)
 	if err != nil {
 		return fmt.Errorf("gateway: model %q shard %d vendor session: %w", model, desc.Shard, err)
 	}
-	if desc.StoreDir != "" {
-		dp := pi.NewDirProvider(desc.StoreDir)
+	if storeDir != "" {
+		dp := pi.NewDirProvider(storeDir)
 		if err := dp.Preload(0); err != nil {
 			return fmt.Errorf("gateway: model %q shard %d vendor: %w", model, desc.Shard, err)
 		}
@@ -120,6 +163,31 @@ func ServeShards(l net.Listener, reg *Registry, n int) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// ServeShardsLoop accepts and serves shard links until the listener is
+// closed — the vendor shape for lifecycle deployments, where a gateway
+// re-dials revived shards at arbitrary times so no fixed link count
+// exists. Per-link errors are reported through onLinkErr (nil: dropped)
+// rather than failing the loop: under a lifecycle, a link dying is the
+// normal prelude to its revival, not a deployment failure — unlike the
+// fixed-count ServeShards, where a dead link genuinely is one.
+func ServeShardsLoop(l net.Listener, reg *Registry, onLinkErr func(error)) {
+	var wg sync.WaitGroup
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			break
+		}
+		wg.Add(1)
+		go func(nc net.Conn) {
+			defer wg.Done()
+			if err := ServeShardConn(transport.NewTCPConn(nc), reg); err != nil && onLinkErr != nil {
+				onLinkErr(err)
+			}
+		}(nc)
+	}
+	wg.Wait()
 }
 
 // Loopback runs every shard's party-0 peer in-process over an in-memory

@@ -123,6 +123,37 @@ func (p *Party) Reveal(sh Share) ([]uint64, error) {
 	return out, nil
 }
 
+// RevealSend transmits this party's half of a reveal without waiting for
+// the peer's. Together with RevealRecv it splits Reveal into its two wire
+// directions, so a pipelined scheduler can send its output share, begin
+// the next flush's input sharing, and collect the peer's share later — as
+// long as the deferred receive stays first in the connection's receive
+// order. RevealSend(x) then RevealRecv(x) reconstructs exactly what
+// Reveal(x) would (the peer cannot distinguish the two schedules).
+func (p *Party) RevealSend(sh Share) error {
+	if err := p.Conn.SendUint64s(sh.V); err != nil {
+		return fmt.Errorf("mpc: reveal send: %w", err)
+	}
+	return nil
+}
+
+// RevealRecv receives the peer's reveal half and reconstructs the secret
+// (see RevealSend). It allocates its own output and touches no party
+// scratch state, so it may run concurrently with the next flush's
+// protocol rounds.
+func (p *Party) RevealRecv(sh Share) ([]uint64, error) {
+	theirs, err := p.Conn.RecvUint64s()
+	if err != nil {
+		return nil, fmt.Errorf("mpc: reveal recv: %w", err)
+	}
+	if len(theirs) != len(sh.V) {
+		return nil, fmt.Errorf("mpc: reveal length %d != %d", len(theirs), len(sh.V))
+	}
+	out := make([]uint64, len(sh.V))
+	ringAdd(out, sh.V, theirs)
+	return out, nil
+}
+
 // RevealTo reconstructs the secret only at the named party; the other
 // party returns nil.
 func (p *Party) RevealTo(owner int, sh Share) ([]uint64, error) {

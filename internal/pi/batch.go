@@ -238,11 +238,26 @@ type Session struct {
 	// Atomic: monitoring callers (gateway Router.Status) may read it while
 	// a flush runs on the session goroutine.
 	fallbacks atomic.Int64
+	// budget is the remaining preprocessed-correlation count this party's
+	// store reported in the most recent source-stamp round (before that
+	// flush consumed its demand), or -1 while the session has only ever
+	// run on the live dealer. Atomic for the same monitoring readers as
+	// fallbacks; it is the per-shard budget telemetry the gateway surfaces
+	// through Router.Status.
+	budget atomic.Int64
 }
 
 // Fallbacks reports how many flushes ran on the live dealer because the
 // preprocessed source could not be resolved for their geometry.
 func (s *Session) Fallbacks() int { return int(s.fallbacks.Load()) }
+
+// RemainingBudget reports the preprocessed-correlation count this party's
+// store declared in the latest source-stamp round — the stamped value,
+// i.e. the budget *before* that flush consumed its demand — or -1 while
+// the session has only ever served from the live dealer. Operators use it
+// to re-provision a deployment before exhaustion instead of after the
+// failover.
+func (s *Session) RemainingBudget() int { return int(s.budget.Load()) }
 
 // UsePreprocessed installs a correlation source provider: before each
 // flush, the negotiated batch geometry is looked up and the returned
@@ -268,17 +283,35 @@ func (s *Session) UsePreprocessed(p SourceProvider) { s.provider = p }
 // the parties' dealer streams advance only on flushes both run live, so
 // they stay lockstep across any store/dealer interleaving.
 func (s *Session) negotiateSource(shape []int) error {
+	ss, err := s.announceSource(shape)
+	if err != nil {
+		return err
+	}
+	return s.confirmSource(ss, shape)
+}
+
+// sourceStamp carries the announce half's resolved source and the stamp
+// it transmitted into the confirm half.
+type sourceStamp struct {
+	src   mpc.CorrelationSource
+	stamp []int
+}
+
+// announceSource is the send half of the source round: resolve this
+// party's source for the flush geometry and transmit the stamp. The
+// stamp is sent even when the local provider failed (tag 2/3): the peer
+// needs it to land in its own receive, or it would hang — the exact
+// asymmetry this round exists to prevent. Tags: 0 live dealer, 1 store,
+// 2 degradable miss (ErrNoStore), 3 hard provider failure (corrupt
+// store, unreadable dir, ...). Hard failures stay fatal on both sides:
+// serving silently without the offline split would mask a real defect
+// (a corrupt store file is not a capacity-planning gap).
+func (s *Session) announceSource(shape []int) (*sourceStamp, error) {
 	var src mpc.CorrelationSource
 	var srcErr error
 	if s.provider != nil {
 		src, srcErr = s.provider.SourceFor(s.party.ID, shape)
 	}
-	// The stamp is exchanged even when the local provider failed (tag 2):
-	// the peer has already sent its stamp and is blocked in the receive,
-	// so bailing out before the exchange would hang it — the exact
-	// asymmetry this round exists to prevent.
-	// Tags: 0 live dealer, 1 store, 2 degradable miss (ErrNoStore),
-	// 3 hard provider failure (corrupt store, unreadable dir, ...).
 	mine := []int{0, 0, 0}
 	switch {
 	case srcErr != nil && errors.Is(srcErr, ErrNoStore):
@@ -290,18 +323,28 @@ func (s *Session) negotiateSource(shape []int) error {
 		if st, ok := src.(*corr.Store); ok {
 			mine[1] = int(st.Label())
 			mine[2] = st.Remaining()
+			// The stamp already carries the remaining budget; keep the
+			// latest value readable for monitoring (RemainingBudget).
+			s.budget.Store(int64(mine[2]))
 		}
 	}
-	theirs, err := transport.ExchangeShapes(s.party.Conn, mine)
+	if err := s.party.Conn.SendShape(mine); err != nil {
+		return nil, fmt.Errorf("pi: correlation source negotiation: %w", err)
+	}
+	if mine[0] == 3 {
+		return nil, fmt.Errorf("pi: correlation source for geometry %v: %w", shape, srcErr)
+	}
+	return &sourceStamp{src: src, stamp: mine}, nil
+}
+
+// confirmSource is the receive half of the source round: take the peer's
+// stamp, cross-validate, and install the flush's source.
+func (s *Session) confirmSource(ss *sourceStamp, shape []int) error {
+	theirs, err := s.party.Conn.RecvShape()
 	if err != nil {
 		return fmt.Errorf("pi: correlation source negotiation: %w", err)
 	}
-	// Hard failures stay fatal on both sides: serving silently without
-	// the offline split would mask a real defect (a corrupt store file is
-	// not a capacity-planning gap).
-	if mine[0] == 3 {
-		return fmt.Errorf("pi: correlation source for geometry %v: %w", shape, srcErr)
-	}
+	mine := ss.stamp
 	if len(theirs) == 3 && theirs[0] == 3 {
 		return fmt.Errorf("pi: peer failed to resolve its correlation source for geometry %v", shape)
 	}
@@ -317,8 +360,8 @@ func (s *Session) negotiateSource(shape []int) error {
 		return fmt.Errorf("pi: correlation sources diverge: this party uses %s, peer uses %s — both parties must serve either from the live dealer or from stores of one preprocess run, in lockstep",
 			stampString(mine), stampString(theirs))
 	}
-	if src != nil {
-		s.party.Source = src
+	if ss.src != nil {
+		s.party.Source = ss.src
 	} else {
 		s.party.Source = s.party.Dealer
 	}
@@ -353,35 +396,32 @@ func NewSession(p *mpc.Party, m *models.Model, expect []int) (*Session, error) {
 	if err := eng.Setup(p); err != nil {
 		return nil, err
 	}
-	return &Session{party: p, eng: eng, expect: expect}, nil
+	s := &Session{party: p, eng: eng, expect: expect}
+	s.budget.Store(-1)
+	return s, nil
 }
 
 // Query runs one batched evaluation from party 1's side: negotiate the
 // batch shape, secret-share the packed queries, run the program, and
 // reconstruct the flat batched logits (row i holds query row i's logits).
+// It is exactly the serialized composition of the Flight phases (see
+// flight.go), which is what makes pipelined and serialized schedules
+// bit-identical.
 func (s *Session) Query(x *tensor.Tensor) ([]float64, error) {
-	if s.party.ID != 1 {
-		return nil, fmt.Errorf("pi: Query is party 1's side; party 0 serves")
-	}
-	if _, err := negotiateShape(s.party, x.Shape); err != nil {
-		return nil, err
-	}
-	if err := s.negotiateSource(x.Shape); err != nil {
-		return nil, err
-	}
-	xs, err := s.party.ShareInput(1, s.party.EncodeTensor(x.Data), x.Shape...)
+	f, err := s.BeginQuery(x)
 	if err != nil {
 		return nil, err
 	}
-	out, err := s.eng.Infer(xs)
-	if err != nil {
+	if err := f.Evaluate(); err != nil {
 		return nil, err
 	}
-	vals, err := s.party.Reveal(out)
-	if err != nil {
+	if err := f.SendResult(); err != nil {
 		return nil, err
 	}
-	return s.party.DecodeTensor(vals), nil
+	if err := f.RecvPeerShare(); err != nil {
+		return nil, err
+	}
+	return f.Result(), nil
 }
 
 // ServeOne runs one batched evaluation from party 0's side, returning

@@ -1,12 +1,18 @@
 package pi
 
 import (
-	"fmt"
+	"errors"
 	"sync"
 	"time"
 
 	"pasnet/internal/tensor"
 )
+
+// ErrBatcherClosed rejects submissions that arrive after Close began.
+// Close drains everything queued before it, so a submitter either rides a
+// final flush or gets this error — never a silent drop and never a query
+// racing the teardown of the underlying session.
+var ErrBatcherClosed = errors.New("pi: batcher is closed to new queries (deployment shutting down)")
 
 // FlushFunc evaluates one packed batch (ΣN×C×H×W) and returns the flat
 // batched logits, row-major over the batch. Session.Query is the deployed
@@ -74,7 +80,7 @@ func (b *Batcher) SubmitAsync(x *tensor.Tensor) func() ([]float64, error) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return func() ([]float64, error) { return nil, fmt.Errorf("pi: batcher closed") }
+		return func() ([]float64, error) { return nil, ErrBatcherClosed }
 	}
 	b.pending = append(b.pending, batchReq{x: x, reply: reply})
 	full := len(b.pending) >= b.max
@@ -94,12 +100,17 @@ func (b *Batcher) SubmitAsync(x *tensor.Tensor) func() ([]float64, error) {
 	}
 }
 
-// Close rejects future submissions and flushes whatever is queued so no
-// submitter is left blocked.
+// Close rejects future submissions (they get ErrBatcherClosed) and drains
+// everything already queued through final flushes, so no submitter is
+// left blocked and no flush races the caller's session teardown: when
+// Close returns, the flush function is guaranteed quiescent. Safe to call
+// concurrently with submissions and idempotent.
 func (b *Batcher) Close() {
 	b.mu.Lock()
 	b.closed = true
 	b.mu.Unlock()
+	// flushNow serializes on the flushing lock, so this also waits out a
+	// flush already in progress before draining the remainder.
 	b.flushNow(true)
 }
 

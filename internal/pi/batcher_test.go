@@ -185,3 +185,62 @@ func TestBatcherFlushErrorFansOut(t *testing.T) {
 		t.Fatalf("%d of 2 submitters saw the flush error", failures.Load())
 	}
 }
+
+// TestBatcherSubmitVsCloseRace pins graceful shutdown: with submitters
+// racing Close, every query either rides a flush (and gets its own
+// logits) or is rejected with ErrBatcherClosed — never dropped, never
+// deadlocked — and once Close returns, the flush function is quiescent:
+// no query accepted before Close may be left for a later flush to race
+// the session teardown. Runs under -race in CI.
+func TestBatcherSubmitVsCloseRace(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		var flushedRows atomic.Int64
+		var flushesAfterClose atomic.Int64
+		var closeReturned atomic.Bool
+		b := NewBatcher(3, time.Millisecond, func(x *tensor.Tensor) ([]float64, error) {
+			if closeReturned.Load() {
+				flushesAfterClose.Add(1)
+			}
+			time.Sleep(200 * time.Microsecond)
+			flushedRows.Add(int64(x.Shape[0]))
+			out := make([]float64, x.Shape[0])
+			for i := range out {
+				out[i] = x.Data[i*x.Len()/x.Shape[0]]
+			}
+			return out, nil
+		})
+		var wg sync.WaitGroup
+		var served atomic.Int64
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for q := 0; q < 5; q++ {
+					tag := float64(100*g + q)
+					logits, err := b.Submit(taggedQuery(tag))
+					if err != nil {
+						if err != ErrBatcherClosed {
+							t.Errorf("unexpected submit error: %v", err)
+						}
+						return
+					}
+					if len(logits) != 1 || logits[0] != tag {
+						t.Errorf("submitter %d got logits %v, want [%v]", g, logits, tag)
+						return
+					}
+					served.Add(1)
+				}
+			}(g)
+		}
+		time.Sleep(time.Duration(round) * 100 * time.Microsecond)
+		b.Close()
+		closeReturned.Store(true)
+		wg.Wait()
+		if flushesAfterClose.Load() != 0 {
+			t.Fatal("a flush ran after Close returned — racing the session teardown")
+		}
+		if flushedRows.Load() != served.Load() {
+			t.Fatalf("flushed %d rows but served %d submitters", flushedRows.Load(), served.Load())
+		}
+	}
+}

@@ -227,7 +227,25 @@ func WriteStorePair(tape corr.Tape, seed uint64, shape []int, flushes int, dir s
 	var paths []string
 	for _, s := range []*corr.Store{s0, s1} {
 		path := filepath.Join(dir, corr.FileName(s.Party(), shape))
-		if err := s.WriteFile(path); err != nil {
+		// Write-then-rename keeps the store visible only whole: the
+		// contents are deterministic in (tape, seed), so when the two
+		// processes of a deployment re-provision the same shared directory
+		// concurrently (shard revival), the last rename wins with identical
+		// bytes instead of a torn file. The temp name must be unique per
+		// writer — CreateTemp, not a pid suffix: two containerized
+		// processes sharing the volume can both be pid 1.
+		tmpF, err := os.CreateTemp(dir, corr.FileName(s.Party(), shape)+".tmp")
+		if err != nil {
+			return nil, fmt.Errorf("pi: write store: %w", err)
+		}
+		tmp := tmpF.Name()
+		tmpF.Close()
+		if err := s.WriteFile(tmp); err != nil {
+			os.Remove(tmp)
+			return nil, fmt.Errorf("pi: write store: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
 			return nil, fmt.Errorf("pi: write store: %w", err)
 		}
 		paths = append(paths, path)

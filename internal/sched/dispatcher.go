@@ -1,0 +1,812 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pasnet/internal/pi"
+	"pasnet/internal/tensor"
+)
+
+// Policy selects how the dispatcher picks a shard for each query.
+type Policy int
+
+const (
+	// RoundRobin rotates over healthy shards regardless of their load —
+	// the pre-scheduler gateway behavior, kept as the baseline.
+	RoundRobin Policy = iota
+	// QueueAware picks the healthy shard with the lowest estimated
+	// completion time for its backlog plus the candidate query: pending
+	// flushes cost the group's fixed-per-flush latency estimate, pending
+	// rows its per-row estimate, and the lane's speed ratio scales the
+	// whole thing. Ties rotate round-robin so an idle fleet still
+	// spreads load.
+	QueueAware Policy = iota
+)
+
+// ErrDispatcherClosed rejects submissions that arrive after Close began.
+// Queries already queued are drained through final flushes first.
+var ErrDispatcherClosed = errors.New("sched: dispatcher is closed to new queries (deployment shutting down)")
+
+// Options configures a Dispatcher.
+type Options struct {
+	// Batch is the max queries packed into one flush (minimum 1).
+	Batch int
+	// QueueCap bounds each shard's pending queue in queries; a submission
+	// to a full queue blocks (backpressure), it is never dropped.
+	// Default 256.
+	QueueCap int
+	// Window is how long a flush that already has work waits for more
+	// queries to fill the batch. Zero is work-conserving: the moment the
+	// session is free, whatever is queued flushes — under load batches
+	// fill on their own because the queue grows while the previous flush
+	// runs.
+	Window time.Duration
+	// Policy picks shards (default RoundRobin).
+	Policy Policy
+}
+
+// item is one routed query: the tensor, its row weight for scoring, and
+// the reply slot its submitter waits on.
+type item struct {
+	model    string
+	x        *tensor.Tensor
+	rows     int64
+	attempts int
+	reply    chan itemResult
+}
+
+type itemResult struct {
+	logits []float64
+	err    error
+}
+
+// worker is one (model, shard) serving lane: a bounded queue drained by a
+// single goroutine that gathers batches and drives the shard's
+// FlushSession. All scheduling state the picker reads is atomic or under
+// the lane mutex.
+type worker struct {
+	d     *Dispatcher
+	g     *group
+	model string
+	shard int
+	queue chan *item
+
+	queuedQueries atomic.Int64 // queries waiting in queue
+	queuedRows    atomic.Int64 // their row sum
+	inflightRows  atomic.Int64 // rows inside flushes not yet completed
+	inflightFlush atomic.Int64 // flushes begun and not yet completed
+	queries       atomic.Int64 // queries routed here (failover retries count)
+	flushes       atomic.Int64
+
+	mu          sync.Mutex
+	speed       float64 // EWMA of actual/predicted flush duration (1: nominal)
+	speedN      int64   // speed observations (the first sets speed directly)
+	sess        FlushSession
+	down        error
+	quarantined bool
+	gen         int // generation currently serving (0: the original dial)
+	genTried    int // highest generation any revival attempt has claimed
+	strikes     int
+	revivedAt   time.Time
+	revived     int
+
+	comp sync.WaitGroup // outstanding flush-completion goroutines
+	done chan struct{}  // worker loop exited (dispatcher Close)
+}
+
+// latModel is a model group's online flush-latency model. A flush costs
+// roughly F + C·rows — a fixed part (the protocol's round trips and
+// per-flush overheads) plus a per-row part (the compute and traffic that
+// scale with the batch) — and which part dominates depends on the
+// deployment (wire latency vs core count), so the picker must estimate
+// both: scoring on a per-row average alone makes a lane that just served
+// a heavy flush look cheap per row exactly when round latency dominates,
+// concentrating load on it backwards. The model keeps EWMAs of the first
+// and second moments of (duration, rows) and recovers F and C by least
+// squares, clamped non-negative.
+//
+// The model is pooled per GROUP, not per lane: a model's lanes run the
+// same program, so their cost structure is shared — and one lane's one
+// or two flushes cannot identify two parameters (whichever term its
+// sample mix happens to hit absorbs everything, and lanes then compare
+// in incommensurate units, which in practice concentrated whole bursts
+// onto whichever lane's noise-fit looked cheapest). What genuinely
+// differs per lane — a remote pair, a degraded host — is captured by the
+// lane's scalar speed ratio.
+type latModel struct {
+	n                       int64
+	dur, rows, durRows, rw2 float64
+}
+
+// latAlpha is the moment-EWMA weight: reactive enough to steer around a
+// lane that turned slow, stable enough not to thrash on one noisy flush.
+const latAlpha = 0.25
+
+func (lm *latModel) observe(durNS, rows float64) {
+	if lm.n == 0 {
+		lm.dur, lm.rows, lm.durRows, lm.rw2 = durNS, rows, durNS*rows, rows*rows
+		lm.n = 1
+		return
+	}
+	lm.dur += latAlpha * (durNS - lm.dur)
+	lm.rows += latAlpha * (rows - lm.rows)
+	lm.durRows += latAlpha * (durNS*rows - lm.durRows)
+	lm.rw2 += latAlpha * (rows*rows - lm.rw2)
+	lm.n++
+}
+
+// params returns the fixed-per-flush and per-row cost estimates in
+// nanoseconds (ok=false before the first observation). With no row-count
+// variance yet, the whole cost is attributed to the fixed term — scoring
+// then ranks lanes by pending flush count, which is the right degenerate
+// behavior.
+func (lm *latModel) params() (f, c float64, ok bool) {
+	if lm.n == 0 {
+		return 0, 0, false
+	}
+	if varR := lm.rw2 - lm.rows*lm.rows; varR > 1e-9 {
+		c = (lm.durRows - lm.dur*lm.rows) / varR
+		if c < 0 {
+			c = 0
+		}
+	}
+	f = lm.dur - c*lm.rows
+	if f < 0 {
+		f = 0
+	}
+	return f, c, true
+}
+
+// ShardStatus is one shard lane's scheduling snapshot.
+type ShardStatus struct {
+	Model   string
+	Shard   int
+	Queries int64
+	Flushes int64
+	// QueuedRows and InFlightRows are the backlog the queue-aware picker
+	// scores: rows waiting in the lane's queue and rows inside flushes
+	// that have not completed.
+	QueuedRows   int64
+	InFlightRows int64
+	// EWMAFlushMS and EWMARowMS are the model group's pooled latency
+	// model — a flush costs about EWMAFlushMS plus EWMARowMS per batch
+	// row (both 0 until the group's first flush completes) — and Speed is
+	// this lane's actual/predicted duration ratio (1: nominal; higher:
+	// the lane runs slow and the picker avoids it proportionally).
+	EWMAFlushMS float64
+	EWMARowMS   float64
+	Speed       float64
+	// Budget is the shard's remaining preprocessed-correlation count from
+	// the latest source-stamp round (-1: live dealer / unknown).
+	Budget int
+	// Fallbacks counts flushes degraded to the live dealer.
+	Fallbacks int
+	// Gen is the pair's lifecycle generation (0: the original dial; n>0:
+	// revived n times with fresh streams and stores).
+	Gen int
+	// Revived counts successful revivals.
+	Revived int
+	// Quarantined marks a pair the lifecycle gave up on (kept dying).
+	Quarantined bool
+	// Down is empty while the shard serves; otherwise the error that
+	// killed the pair (awaiting revival, or final if quarantined).
+	Down string
+}
+
+// Dispatcher routes queries across shard lanes. It owns one bounded work
+// queue per (model, shard), picks lanes by Options.Policy, transparently
+// fails queries over when a pair dies, and drains gracefully on Close. It
+// is the scheduling layer gateway.Router delegates to.
+type Dispatcher struct {
+	opts Options
+
+	mu     sync.RWMutex
+	groups map[string]*group
+	order  []string
+	closed bool
+	// sends tracks in-flight queue sends so Close can wait them out
+	// before closing the queues.
+	sends sync.WaitGroup
+
+	cmu      sync.Mutex
+	closeErr error
+
+	lc *Lifecycle
+}
+
+// group is one model's lane set plus its pooled latency model.
+type group struct {
+	workers []*worker
+	rr      atomic.Uint64
+
+	lmu sync.Mutex
+	lat latModel
+}
+
+// NewDispatcher builds an empty dispatcher; add lanes with AddShard
+// before submitting.
+func NewDispatcher(opts Options) *Dispatcher {
+	if opts.Batch < 1 {
+		opts.Batch = 1
+	}
+	if opts.QueueCap < 1 {
+		opts.QueueCap = 256
+	}
+	return &Dispatcher{opts: opts, groups: map[string]*group{}}
+}
+
+// AddShard registers one (model, shard) lane around an established
+// session and starts its worker. Shard indices within a model must be
+// unique; models appear in Status in first-registration order.
+func (d *Dispatcher) AddShard(model string, shard int, sess FlushSession) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrDispatcherClosed
+	}
+	g, ok := d.groups[model]
+	if !ok {
+		g = &group{}
+		d.groups[model] = g
+		d.order = append(d.order, model)
+	}
+	for _, w := range g.workers {
+		if w.shard == shard {
+			return fmt.Errorf("sched: model %q shard %d already has a dispatch lane", model, shard)
+		}
+	}
+	w := &worker{
+		d:     d,
+		g:     g,
+		model: model,
+		shard: shard,
+		queue: make(chan *item, d.opts.QueueCap),
+		sess:  sess,
+		speed: 1,
+		done:  make(chan struct{}),
+	}
+	g.workers = append(g.workers, w)
+	go w.run()
+	return nil
+}
+
+// EnableLifecycle attaches a revival lifecycle: dead lanes are re-dialed
+// and re-provisioned through revive with exponential backoff instead of
+// staying retired, and pairs that keep dying are quarantined. Call before
+// traffic flows.
+func (d *Dispatcher) EnableLifecycle(revive ReviveFunc, opts LifecycleOptions) *Lifecycle {
+	d.lc = newLifecycle(d, revive, opts)
+	return d.lc
+}
+
+// pick chooses the serving lane for a query of the given row weight.
+func (d *Dispatcher) pick(model string, rows int64) (*worker, error) {
+	d.mu.RLock()
+	g, ok := d.groups[model]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: no model %q has dispatch lanes", model)
+	}
+	n := len(g.workers)
+	start := int(g.rr.Add(1) - 1)
+	// Cost units come from the group's pooled model. Before its first
+	// completed flush (e.g. a whole burst arriving faster than any
+	// feedback), the prior weighs a flush like a full batch of rows —
+	// a neutral F:C ratio that balances flush counts and row sums
+	// together, where a (1, 1) prior would equate one row with one whole
+	// flush and balance rows alone even when fixed round cost dominates.
+	// Either way every lane compares in the same units.
+	batch := float64(d.opts.Batch)
+	f, c := batch, 1.0
+	if d.opts.Policy == QueueAware {
+		g.lmu.Lock()
+		if gf, gc, ok := g.lat.params(); ok {
+			f, c = gf, gc
+		}
+		g.lmu.Unlock()
+	}
+	var best *worker
+	var bestScore float64
+	var lastErr error
+	for i := 0; i < n; i++ {
+		w := g.workers[(start+i)%n]
+		if err := w.downErr(); err != nil {
+			lastErr = err
+			continue
+		}
+		if d.opts.Policy == RoundRobin {
+			return w, nil
+		}
+		// Estimated completion of this lane's backlog plus the candidate:
+		// pending flushes (in flight, plus the queue folded at the batch
+		// size) cost the fixed term each; pending rows cost the per-row
+		// term; the lane's speed ratio scales the whole estimate. Ties
+		// keep the rotating start's order, so an idle fleet degrades to
+		// round-robin.
+		w.mu.Lock()
+		speed := w.speed
+		w.mu.Unlock()
+		estFlushes := float64(w.inflightFlush.Load()) + ceilDiv(float64(w.queuedQueries.Load())+1, batch)
+		estRows := float64(w.queuedRows.Load()+w.inflightRows.Load()) + float64(rows)
+		score := speed * (estFlushes*f + estRows*c)
+		if best == nil || score < bestScore {
+			best, bestScore = w, score
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	return nil, fmt.Errorf("sched: all %d shard(s) of model %q are down: %w", n, model, lastErr)
+}
+
+// Submit routes one query and blocks for its logits.
+func (d *Dispatcher) Submit(model string, x *tensor.Tensor) ([]float64, error) {
+	return d.SubmitAsync(model, x)()
+}
+
+// SubmitAsync routes one query and returns a wait function (mirroring
+// pi.Batcher.SubmitAsync), so connection readers can enqueue a pipelined
+// stream without blocking. A submission to a full lane queue blocks
+// inside SubmitAsync — backpressure, not loss. When the flush carrying
+// the query fails, the lane is marked down and the query transparently
+// retries on the model's remaining healthy lanes; only when every lane is
+// down (or the retry budget is spent) does the wait return an error.
+func (d *Dispatcher) SubmitAsync(model string, x *tensor.Tensor) func() ([]float64, error) {
+	rows := int64(1)
+	if len(x.Shape) == 4 {
+		rows = int64(x.Shape[0])
+	}
+	it := &item{model: model, x: x, rows: rows, reply: make(chan itemResult, 1)}
+	w, err := d.pick(model, rows)
+	if err != nil {
+		return failedWait(err)
+	}
+	if err := d.enqueue(w, it); err != nil {
+		return failedWait(err)
+	}
+	return func() ([]float64, error) {
+		r := <-it.reply
+		return r.logits, r.err
+	}
+}
+
+// enqueue hands a client submission to a lane, registering the send so
+// Close can wait it out before closing queues. A full queue blocks the
+// submitting client (backpressure) — safe for clients, who are never
+// queue drainers.
+func (d *Dispatcher) enqueue(w *worker, it *item) error {
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return ErrDispatcherClosed
+	}
+	d.sends.Add(1)
+	d.mu.RUnlock()
+	defer d.sends.Done()
+	w.queries.Add(1)
+	w.queuedQueries.Add(1)
+	w.queuedRows.Add(it.rows)
+	w.queue <- it
+	return nil
+}
+
+// tryEnqueue is enqueue's non-blocking variant for internal failover
+// re-dispatches (see failover): ok=false means the lane's queue is full.
+func (d *Dispatcher) tryEnqueue(w *worker, it *item) (ok bool, err error) {
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return false, fmt.Errorf("sched: model %q query lost its shard during shutdown: %w", it.model, ErrDispatcherClosed)
+	}
+	d.sends.Add(1)
+	d.mu.RUnlock()
+	defer d.sends.Done()
+	select {
+	case w.queue <- it:
+		w.queries.Add(1)
+		w.queuedQueries.Add(1)
+		w.queuedRows.Add(it.rows)
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// failover re-routes the items of a failed flush. Each item retries on
+// the picker's next healthy lane until its retry budget (two passes over
+// the model's lanes) is spent — revival can bring lanes back mid-retry,
+// so an unbounded loop could bounce between chronically dying pairs
+// forever. Failover enqueues never block: it runs on worker and
+// completion goroutines, and a blocking send from the goroutine that
+// should be draining one full queue into another full queue can close a
+// mutual-wait cycle between two workers. A saturated fleet therefore
+// rejects the re-dispatched query descriptively instead of gambling on a
+// slot opening up.
+func (d *Dispatcher) failover(items []*item, cause error) {
+	for _, it := range items {
+		it.attempts++
+		d.mu.RLock()
+		lanes := 0
+		if g, ok := d.groups[it.model]; ok {
+			lanes = len(g.workers)
+		}
+		d.mu.RUnlock()
+		if it.attempts > 2*lanes {
+			it.reply <- itemResult{err: fmt.Errorf("sched: model %q query failed on %d shard assignment(s), giving up: %w", it.model, it.attempts, cause)}
+			continue
+		}
+		w, err := d.pick(it.model, it.rows)
+		if err != nil {
+			it.reply <- itemResult{err: err}
+			continue
+		}
+		ok, err := d.tryEnqueue(w, it)
+		switch {
+		case err != nil:
+			it.reply <- itemResult{err: err}
+		case !ok:
+			it.reply <- itemResult{err: fmt.Errorf("sched: model %q shard %d died and every healthy shard's queue is full; query rejected after %d assignment(s): %w", it.model, w.shard, it.attempts, cause)}
+		}
+	}
+}
+
+// Status snapshots every lane, grouped by model in registration order.
+func (d *Dispatcher) Status() []ShardStatus {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []ShardStatus
+	for _, model := range d.order {
+		for _, w := range d.groups[model].workers {
+			out = append(out, w.status())
+		}
+	}
+	return out
+}
+
+// Close rejects new submissions, drains every lane's queued work through
+// final flushes, closes each session gracefully (end-of-session sentinel
+// on healthy pairs), and returns the first close error. Idempotent.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return d.firstCloseErr()
+	}
+	d.closed = true
+	workers := []*worker{}
+	for _, model := range d.order {
+		workers = append(workers, d.groups[model].workers...)
+	}
+	d.mu.Unlock()
+	// Stop revivals first so no lane flips back up mid-teardown.
+	if d.lc != nil {
+		d.lc.Stop()
+	}
+	// Wait out in-flight queue sends, then close every queue; the worker
+	// loops drain what remains and shut their sessions down concurrently.
+	d.sends.Wait()
+	for _, w := range workers {
+		close(w.queue)
+	}
+	for _, w := range workers {
+		<-w.done
+	}
+	return d.firstCloseErr()
+}
+
+func (d *Dispatcher) firstCloseErr() error {
+	d.cmu.Lock()
+	defer d.cmu.Unlock()
+	return d.closeErr
+}
+
+func (d *Dispatcher) recordCloseErr(err error) {
+	d.cmu.Lock()
+	if d.closeErr == nil {
+		d.closeErr = err
+	}
+	d.cmu.Unlock()
+}
+
+// failedWait adapts an immediate routing error to the wait-function shape.
+func failedWait(err error) func() ([]float64, error) {
+	return func() ([]float64, error) { return nil, err }
+}
+
+// ceilDiv is ⌈a/b⌉ for positive b.
+func ceilDiv(a, b float64) float64 {
+	n := a / b
+	if f := float64(int64(n)); f < n {
+		return f + 1
+	}
+	return n
+}
+
+// ---- worker ----
+
+func (w *worker) downErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.down
+}
+
+func (w *worker) session() FlushSession {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sess
+}
+
+func (w *worker) status() ShardStatus {
+	w.mu.Lock()
+	st := ShardStatus{
+		Model:       w.model,
+		Shard:       w.shard,
+		Gen:         w.gen,
+		Revived:     w.revived,
+		Quarantined: w.quarantined,
+	}
+	if w.down != nil {
+		st.Down = w.down.Error()
+	}
+	st.Speed = w.speed
+	sess := w.sess
+	w.mu.Unlock()
+	w.g.lmu.Lock()
+	if f, c, ok := w.g.lat.params(); ok {
+		st.EWMAFlushMS = f / 1e6
+		st.EWMARowMS = c / 1e6
+	}
+	w.g.lmu.Unlock()
+	st.Queries = w.queries.Load()
+	st.Flushes = w.flushes.Load()
+	st.QueuedRows = w.queuedRows.Load()
+	st.InFlightRows = w.inflightRows.Load()
+	st.Budget = -1
+	if sess != nil {
+		st.Budget = sess.RemainingBudget()
+		st.Fallbacks = sess.Fallbacks()
+	}
+	return st
+}
+
+// run is the lane's single worker loop: dequeue, gather a batch, flush.
+// A down lane keeps draining its queue by re-dispatching to healthy
+// lanes, so no item ever strands behind a dead pair.
+func (w *worker) run() {
+	defer close(w.done)
+	for {
+		it, ok := <-w.queue
+		if !ok {
+			break
+		}
+		w.queuedQueries.Add(-1)
+		w.queuedRows.Add(-it.rows)
+		if err := w.downErr(); err != nil {
+			w.d.failover([]*item{it}, err)
+			continue
+		}
+		w.inflightRows.Add(it.rows)
+		items := w.gather(it)
+		w.flush(items)
+	}
+	w.comp.Wait()
+	w.mu.Lock()
+	sess, down := w.sess, w.down
+	w.mu.Unlock()
+	if sess != nil && down == nil {
+		if err := sess.Close(); err != nil {
+			w.d.recordCloseErr(fmt.Errorf("sched: close model %q shard %d: %w", w.model, w.shard, err))
+		}
+	}
+}
+
+// gather extends a started batch from the queue without exceeding
+// Options.Batch queries, waiting at most Options.Window for stragglers.
+func (w *worker) gather(first *item) []*item {
+	items := []*item{first}
+	var timer <-chan time.Time
+	for len(items) < w.d.opts.Batch {
+		var it *item
+		var ok bool
+		select {
+		case it, ok = <-w.queue:
+		default:
+			if w.d.opts.Window <= 0 {
+				return items
+			}
+			if timer == nil {
+				timer = time.After(w.d.opts.Window)
+			}
+			select {
+			case it, ok = <-w.queue:
+			case <-timer:
+				return items
+			}
+		}
+		if !ok {
+			return items
+		}
+		w.queuedQueries.Add(-1)
+		w.queuedRows.Add(-it.rows)
+		w.inflightRows.Add(it.rows)
+		items = append(items, it)
+	}
+	return items
+}
+
+// flush packs one gathered batch, starts it on the session, and completes
+// it on a goroutine (for a pipelined session the completion overlaps the
+// next flush; for a serialized one it returns immediately).
+func (w *worker) flush(items []*item) {
+	queries := make([]*tensor.Tensor, len(items))
+	var rows int64
+	for i, it := range items {
+		queries[i] = it.x
+		rows += it.rows
+	}
+	packed, counts, err := pi.PackQueries(queries)
+	if err != nil {
+		// A packing error is a per-batch input defect (mixed geometries
+		// can only reach one lane through a caller bypassing validation);
+		// it does not poison the pair.
+		w.inflightRows.Add(-rows)
+		for _, it := range items {
+			it.reply <- itemResult{err: err}
+		}
+		return
+	}
+	start := time.Now()
+	w.inflightFlush.Add(1)
+	sess := w.session()
+	wait, err := sess.BeginFlush(packed)
+	if err != nil {
+		w.inflightFlush.Add(-1)
+		w.inflightRows.Add(-rows)
+		w.fail(err, sess)
+		w.d.failover(items, err)
+		return
+	}
+	w.flushes.Add(1)
+	w.comp.Add(1)
+	go func() {
+		defer w.comp.Done()
+		out, err := wait()
+		w.inflightFlush.Add(-1)
+		w.inflightRows.Add(-rows)
+		if err != nil {
+			w.fail(err, sess)
+			w.d.failover(items, err)
+			return
+		}
+		w.observe(time.Since(start), rows)
+		per, err := pi.SplitLogits(out, counts)
+		if err != nil {
+			for _, it := range items {
+				it.reply <- itemResult{err: err}
+			}
+			return
+		}
+		for i, it := range items {
+			it.reply <- itemResult{logits: per[i]}
+		}
+	}()
+}
+
+// observe folds one completed flush into the group's pooled latency
+// model and this lane's speed ratio.
+func (w *worker) observe(dur time.Duration, rows int64) {
+	if rows < 1 {
+		return
+	}
+	durNS := float64(dur.Nanoseconds())
+	w.g.lmu.Lock()
+	w.g.lat.observe(durNS, float64(rows))
+	f, c, _ := w.g.lat.params()
+	w.g.lmu.Unlock()
+	if pred := f + c*float64(rows); pred > 0 {
+		ratio := durNS / pred
+		// A damped, clamped ratio: one hiccup cannot blacklist a lane,
+		// a genuinely slow pair cannot hide, and pathological samples
+		// cannot drive the score to zero or infinity.
+		if ratio < 1.0/16 {
+			ratio = 1.0 / 16
+		}
+		if ratio > 16 {
+			ratio = 16
+		}
+		w.mu.Lock()
+		if w.speedN == 0 {
+			w.speed = ratio
+		} else {
+			w.speed += latAlpha * (ratio - w.speed)
+		}
+		w.speedN++
+		w.mu.Unlock()
+	}
+}
+
+// fail marks the lane down on its first terminal error, kills the
+// session, and hands the lane to the lifecycle — counting a
+// poisoned-pair strike if it died on the heels of a revival, and
+// resetting the strike record if the revival had proven itself by
+// serving past the poison window (so three blips spread over weeks can
+// never add up to the quarantine meant for chronically dying pairs).
+// from names the session the error came from: a report from a session
+// the lifecycle has already replaced is stale and must not kill — or
+// strike — the freshly revived pair.
+func (w *worker) fail(err error, from FlushSession) {
+	w.mu.Lock()
+	if w.down != nil || (from != nil && from != w.sess) {
+		w.mu.Unlock()
+		return
+	}
+	w.down = err
+	sess := w.sess
+	lc := w.d.lc
+	if lc != nil && !w.revivedAt.IsZero() {
+		if time.Since(w.revivedAt) < lc.opts.PoisonWindow {
+			w.strikeLocked(err, lc.opts.MaxStrikes)
+		} else {
+			w.strikes = 0
+		}
+	}
+	quarantined := w.quarantined
+	w.mu.Unlock()
+	if sess != nil {
+		sess.Kill()
+	}
+	if lc != nil && !quarantined {
+		lc.notify(w)
+	}
+}
+
+// nextGen hands out the next never-attempted generation number
+// (monotonic across failed attempts — see Lifecycle.revival).
+func (w *worker) nextGen() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.genTried++
+	return w.genTried
+}
+
+// resurrect installs a revived session on the lane.
+func (w *worker) resurrect(sess FlushSession, gen int) {
+	w.mu.Lock()
+	w.sess = sess
+	w.down = nil
+	w.gen = gen
+	w.revived++
+	w.revivedAt = time.Now()
+	w.mu.Unlock()
+}
+
+// strike counts a failed revival attempt; enough strikes quarantine the
+// pair for good.
+func (w *worker) strike(err error, max int) (quarantined bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.strikeLocked(err, max)
+}
+
+// strikeLocked is the single strike/quarantine rule (callers hold w.mu):
+// whether the strike comes from a failed revival dial or a death inside
+// the poison window, quarantine always reports the same descriptive
+// terminal status.
+func (w *worker) strikeLocked(err error, max int) bool {
+	w.strikes++
+	if w.strikes >= max {
+		w.quarantined = true
+		w.down = fmt.Errorf("sched: model %q shard %d quarantined after %d strikes: %w", w.model, w.shard, w.strikes, err)
+	}
+	return w.quarantined
+}
+
+func (w *worker) isQuarantined() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.quarantined
+}

@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrReviveLater marks a revival attempt that failed for a
+// transient-by-design reason — typically the vendor still holds the dead
+// pair's claim because it has not yet noticed the torn link (it may be
+// deep in a long compute between conn ops). Such attempts never count a
+// strike: the endpoint is not failing, it is not ready, and quarantining
+// it would defeat the lifecycle's purpose. ReviveFuncs wrap their error
+// with this sentinel to request a plain backoff retry.
+var ErrReviveLater = errors.New("sched: pair not yet revivable, retry after backoff")
+
+// ReviveFunc re-establishes one dead shard lane at a new lifecycle
+// generation: re-dial the pair's link, re-handshake at that generation,
+// rebuild the session — typically with a fresh dealer stream and a fresh
+// preprocessed store pair derived from the generation, so the revived
+// pair never replays correlation randomness the dead pair already burned
+// (gateway.Router supplies this).
+type ReviveFunc func(model string, shard, gen int) (FlushSession, error)
+
+// LifecycleOptions tunes revival pacing and the poisoned-pair quarantine.
+type LifecycleOptions struct {
+	// InitialBackoff is the wait before the first revival attempt
+	// (default 50ms); the wait doubles per failed attempt up to
+	// MaxBackoff (default 5s).
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	// MaxStrikes quarantines a pair after this many strikes — failed
+	// revival dials, or deaths within PoisonWindow of a revival (default
+	// 3). A quarantined pair stays down for the deployment's lifetime,
+	// exactly like the pre-lifecycle gateway, so a chronically poisoned
+	// endpoint cannot soak the fleet in reconnect churn.
+	MaxStrikes int
+	// PoisonWindow is how soon after a revival a death counts as a strike
+	// (default 10s): a pair that serves longer than this has proven the
+	// revival good, and its strike clock effectively resets.
+	PoisonWindow time.Duration
+}
+
+// withDefaults fills zero fields.
+func (o LifecycleOptions) withDefaults() LifecycleOptions {
+	if o.InitialBackoff <= 0 {
+		o.InitialBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.MaxStrikes <= 0 {
+		o.MaxStrikes = 3
+	}
+	if o.PoisonWindow <= 0 {
+		o.PoisonWindow = 10 * time.Second
+	}
+	return o
+}
+
+// Lifecycle revives dead shard lanes instead of retiring them: each death
+// notification spawns a revival loop that waits out an exponential
+// backoff, asks the ReviveFunc for a fresh session at the next
+// generation, and swaps it into the lane. Pairs that keep failing —
+// revival dials that error, or revived pairs that die again within the
+// poison window — collect strikes and are quarantined at MaxStrikes.
+type Lifecycle struct {
+	d      *Dispatcher
+	revive ReviveFunc
+	opts   LifecycleOptions
+
+	stopCh chan struct{}
+	// smu guards stopped so notify never races Stop's wg.Wait with a
+	// wg.Add (a documented WaitGroup misuse): a death that loses the
+	// race with shutdown simply stays down.
+	smu     sync.Mutex
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+func newLifecycle(d *Dispatcher, revive ReviveFunc, opts LifecycleOptions) *Lifecycle {
+	return &Lifecycle{d: d, revive: revive, opts: opts.withDefaults(), stopCh: make(chan struct{})}
+}
+
+// notify hands a freshly-down lane to a revival loop. Called once per
+// death (the lane's fail() deduplicates).
+func (lc *Lifecycle) notify(w *worker) {
+	lc.smu.Lock()
+	if lc.stopped {
+		lc.smu.Unlock()
+		return
+	}
+	lc.wg.Add(1)
+	lc.smu.Unlock()
+	go lc.revival(w)
+}
+
+// Stop halts all revival loops and waits them out. After Stop, dead lanes
+// stay dead (the dispatcher is usually closing).
+func (lc *Lifecycle) Stop() {
+	lc.smu.Lock()
+	if !lc.stopped {
+		lc.stopped = true
+		close(lc.stopCh)
+	}
+	lc.smu.Unlock()
+	lc.wg.Wait()
+}
+
+// revival is one lane's backoff-and-redial loop. Every attempt uses a
+// fresh generation number — never a retried one: the vendor claims a
+// generation before session setup completes, so an attempt that failed
+// after the claim (a transient dial or provisioning error) has burned
+// its generation for good, and re-dialing it would be rejected as a
+// duplicate forever.
+func (lc *Lifecycle) revival(w *worker) {
+	defer lc.wg.Done()
+	backoff := lc.opts.InitialBackoff
+	for {
+		select {
+		case <-lc.stopCh:
+			return
+		case <-time.After(backoff):
+		}
+		if w.isQuarantined() {
+			return
+		}
+		gen := w.nextGen()
+		sess, err := lc.revive(w.model, w.shard, gen)
+		if err == nil {
+			w.resurrect(sess, gen)
+			return
+		}
+		// Not-yet-revivable attempts back off without a strike — the
+		// retry loop is then bounded only by Stop, which is right for an
+		// endpoint that is merely slow to notice its dead link.
+		if !errors.Is(err, ErrReviveLater) {
+			if w.strike(err, lc.opts.MaxStrikes) {
+				return
+			}
+		}
+		backoff *= 2
+		if backoff > lc.opts.MaxBackoff {
+			backoff = lc.opts.MaxBackoff
+		}
+	}
+}

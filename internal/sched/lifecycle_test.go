@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond up to ~2s, failing the test on timeout.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 400; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestLifecycleRevival pins the headline lifecycle behavior: a dead lane
+// is re-dialed at the next generation instead of staying retired, and
+// serves again afterwards.
+func TestLifecycleRevival(t *testing.T) {
+	d := NewDispatcher(Options{Batch: 1})
+	var revives atomic.Int32
+	d.EnableLifecycle(func(model string, shard, gen int) (FlushSession, error) {
+		revives.Add(1)
+		if model != "m" || shard != 0 || gen != 1 {
+			return nil, fmt.Errorf("revive called with %s/%d gen %d, want m/0 gen 1", model, shard, gen)
+		}
+		return newFakeSession(0, -1), nil
+	}, LifecycleOptions{InitialBackoff: 5 * time.Millisecond})
+	addLanes(t, d, "m", newFakeSession(0, 1)) // dies on its second flush
+	if _, err := d.Submit("m", query(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The second query kills the only lane: with no healthy lane left the
+	// query fails, and the lifecycle begins reviving in the background.
+	if _, err := d.Submit("m", query(1)); err == nil || !strings.Contains(err.Error(), "are down") {
+		t.Fatalf("query on the dying lane must fail all-down, got: %v", err)
+	}
+	waitFor(t, "lane revival", func() bool {
+		st := d.Status()[0]
+		return st.Down == "" && st.Revived == 1 && st.Gen == 1
+	})
+	if _, err := d.Submit("m", query(1)); err != nil {
+		t.Fatalf("revived lane must serve again: %v", err)
+	}
+	if revives.Load() != 1 {
+		t.Fatalf("revive ran %d times, want 1", revives.Load())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLifecycleGenerationNeverRetried pins the claim-burn rule: a failed
+// revival attempt may have claimed its generation on the vendor before
+// dying, so the next attempt must dial a strictly fresh generation —
+// retrying the burned one would be rejected as a duplicate forever,
+// wedging revival into spurious quarantine.
+func TestLifecycleGenerationNeverRetried(t *testing.T) {
+	d := NewDispatcher(Options{Batch: 1})
+	var gens []int
+	var mu sync.Mutex
+	d.EnableLifecycle(func(model string, shard, gen int) (FlushSession, error) {
+		mu.Lock()
+		gens = append(gens, gen)
+		n := len(gens)
+		mu.Unlock()
+		if n == 1 {
+			return nil, fmt.Errorf("transient dial failure after the claim")
+		}
+		return newFakeSession(0, -1), nil
+	}, LifecycleOptions{InitialBackoff: 2 * time.Millisecond, MaxStrikes: 5})
+	addLanes(t, d, "m", newFakeSession(0, 0))
+	_, _ = d.Submit("m", query(1))
+	waitFor(t, "revival after a failed attempt", func() bool {
+		st := d.Status()[0]
+		return st.Down == "" && st.Revived == 1
+	})
+	mu.Lock()
+	attempted := append([]int(nil), gens...)
+	mu.Unlock()
+	if len(attempted) != 2 || attempted[0] != 1 || attempted[1] != 2 {
+		t.Fatalf("revival attempts claimed generations %v, want [1 2] (never a retry of a burned generation)", attempted)
+	}
+	if st := d.Status()[0]; st.Gen != 2 {
+		t.Fatalf("revived lane serves generation %d, want 2", st.Gen)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLifecycleBackoffAndQuarantine pins the failure arc: revival dials
+// that keep erroring collect strikes and the pair is quarantined at
+// MaxStrikes, with a descriptive terminal status.
+func TestLifecycleBackoffAndQuarantine(t *testing.T) {
+	d := NewDispatcher(Options{Batch: 1})
+	var attempts atomic.Int32
+	d.EnableLifecycle(func(model string, shard, gen int) (FlushSession, error) {
+		attempts.Add(1)
+		return nil, fmt.Errorf("endpoint still unreachable")
+	}, LifecycleOptions{InitialBackoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond, MaxStrikes: 3})
+	addLanes(t, d, "m", newFakeSession(0, 0))
+	if _, err := d.Submit("m", query(1)); err == nil {
+		t.Fatal("query on an instantly-dying solo lane must fail")
+	}
+	waitFor(t, "quarantine", func() bool { return d.Status()[0].Quarantined })
+	st := d.Status()[0]
+	if !strings.Contains(st.Down, "quarantined") || !strings.Contains(st.Down, "unreachable") {
+		t.Fatalf("quarantine status %q must name the verdict and the cause", st.Down)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("revival attempted %d times before quarantine, want MaxStrikes=3", got)
+	}
+	// Quarantine is terminal: no further revival, submissions stay failed.
+	time.Sleep(30 * time.Millisecond)
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("quarantined lane must never be re-dialed again (saw %d attempts)", got)
+	}
+	if _, err := d.Submit("m", query(1)); err == nil {
+		t.Fatal("quarantined solo lane must keep failing submissions")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoisonWindowStrikes pins the re-death strike: a pair that dies
+// right after each revival is quarantined rather than revived forever.
+func TestPoisonWindowStrikes(t *testing.T) {
+	d := NewDispatcher(Options{Batch: 1})
+	d.EnableLifecycle(func(model string, shard, gen int) (FlushSession, error) {
+		return newFakeSession(0, 0), nil // revives into a pair that dies on first use
+	}, LifecycleOptions{InitialBackoff: 2 * time.Millisecond, MaxStrikes: 2, PoisonWindow: time.Minute})
+	addLanes(t, d, "m", newFakeSession(0, 0))
+	for i := 0; i < 20 && !d.Status()[0].Quarantined; i++ {
+		// Each submission kills the freshly-revived pair within the poison
+		// window, accumulating strikes.
+		_, _ = d.Submit("m", query(1))
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitFor(t, "poisoned-pair quarantine", func() bool { return d.Status()[0].Quarantined })
+	st := d.Status()[0]
+	if st.Revived < 1 {
+		t.Fatalf("pair must have been revived at least once before quarantine, got %+v", st)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrikesResetAfterProvenRevival pins the poison-window boundary: a
+// pair that serves past the window has proven its revival good, so a
+// later death starts a fresh incident instead of inheriting old strikes
+// — blips spread over a long deployment can never add up to quarantine.
+func TestStrikesResetAfterProvenRevival(t *testing.T) {
+	d := NewDispatcher(Options{Batch: 1})
+	d.EnableLifecycle(func(model string, shard, gen int) (FlushSession, error) {
+		return newFakeSession(0, 2), nil // each revival serves two flushes, then dies
+	}, LifecycleOptions{InitialBackoff: 2 * time.Millisecond, MaxStrikes: 2, PoisonWindow: 10 * time.Millisecond})
+	addLanes(t, d, "m", newFakeSession(0, 2))
+	// Each round: two served queries, a wait past the poison window, then
+	// a killing query. With MaxStrikes=2, inherited strikes would
+	// quarantine by the third round; resets must keep revivals coming.
+	for round := 0; round < 4; round++ {
+		for q := 0; q < 2; q++ {
+			if _, err := d.Submit("m", query(1)); err != nil {
+				t.Fatalf("round %d query %d: %v", round, q, err)
+			}
+		}
+		time.Sleep(15 * time.Millisecond) // past the poison window: revival proven
+		_, _ = d.Submit("m", query(1))    // kills the pair outside the window
+		waitFor(t, "revival", func() bool {
+			st := d.Status()[0]
+			return st.Down == "" && st.Revived == round+1
+		})
+	}
+	if st := d.Status()[0]; st.Quarantined {
+		t.Fatalf("proven-good pair quarantined after spread-out deaths: %+v", st)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLifecycleStopsOnClose pins the shutdown interaction: Close stops
+// pending revivals, so a deployment tears down promptly even with lanes
+// mid-backoff.
+func TestLifecycleStopsOnClose(t *testing.T) {
+	d := NewDispatcher(Options{Batch: 1})
+	var revives atomic.Int32
+	d.EnableLifecycle(func(model string, shard, gen int) (FlushSession, error) {
+		revives.Add(1)
+		return newFakeSession(0, -1), nil
+	}, LifecycleOptions{InitialBackoff: time.Hour})
+	addLanes(t, d, "m", newFakeSession(0, 0))
+	_, _ = d.Submit("m", query(1))
+	done := make(chan error, 1)
+	go func() { done <- d.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close must not wait out an hour-long revival backoff")
+	}
+	if revives.Load() != 0 {
+		t.Fatal("stopped lifecycle must not revive")
+	}
+}
