@@ -15,6 +15,7 @@
 //	pasnet-bench -exhibit offline -benchjson .  # offline/online split online-only latency → BENCH_offline.json
 //	pasnet-bench -exhibit shard -benchjson .    # multi-model shard gateway amortization → BENCH_shard.json
 //	pasnet-bench -exhibit dispatch -benchjson . # dispatch scheduler under skewed load → BENCH_dispatch.json
+//	pasnet-bench -exhibit overload -benchjson . # admission control under saturating load → BENCH_overload.json
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation|kernel|pibatch|offline|shard|dispatch")
+	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation|kernel|pibatch|offline|shard|dispatch|overload")
 	profile := flag.String("profile", "quick", "experiment scale: quick|full")
 	accuracy := flag.Bool("accuracy", false, "table1: also train synthetic-accuracy column")
 	benchJSON := flag.String("benchjson", "", "kernel/pibatch/offline: directory to write the BENCH_*.json file into (empty: stdout only)")
@@ -129,6 +130,8 @@ func main() {
 		exitOn(shardBench(*benchJSON))
 	case "dispatch":
 		exitOn(dispatchBench(*benchJSON))
+	case "overload":
+		exitOn(overloadBench(*benchJSON))
 	case "ablation":
 		rows, err := experiments.DARTSOrderAblation(p, hw)
 		exitOn(err)

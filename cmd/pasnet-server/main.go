@@ -51,14 +51,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"pasnet/internal/dataset"
@@ -112,6 +115,23 @@ type config struct {
 	// budgetWarn logs a re-provision warning when a shard's remaining
 	// preprocessed-correlation budget drops below this (0: off).
 	budgetWarn int
+	// flushDeadline bounds every in-flush receive on a 2PC pair, so a
+	// stalled peer fails the pair instead of wedging a worker (0: off).
+	flushDeadline time.Duration
+	// queueTarget and quota are the gateway's admission controls: shed a
+	// query when its estimated completion exceeds the target, or when its
+	// model already has quota queries in flight (0: off).
+	queueTarget time.Duration
+	quota       int
+	// queueCap bounds pending queues: the frontend batcher sheds
+	// submissions over it; the gateway uses it as the per-lane bound.
+	queueCap int
+	// reprovision enables the gateway's background store re-provisioner
+	// at this remaining-correlation budget floor (0: off).
+	reprovision int
+	// statusJSON dumps the gateway's shard status (including admission
+	// counters) as JSON to this file on SIGUSR1 and at shutdown.
+	statusJSON string
 }
 
 func main() {
@@ -137,6 +157,12 @@ func main() {
 	flag.BoolVar(&cfg.pipeline, "pipeline", false, "gateway: pipelined flush schedule — overlap one flush's reconstruction with the next flush's input sharing per pair (bit-identical outputs)")
 	flag.BoolVar(&cfg.lifecycle, "lifecycle", false, "gateway/vendor: revive dead shard pairs (re-dial with backoff, fresh streams and stores) instead of retiring them; the vendor accepts links until interrupted")
 	flag.IntVar(&cfg.budgetWarn, "budget-warn", 0, "gateway: log a re-provision warning when a shard's remaining preprocessed budget drops below this many correlations (0: off)")
+	flag.DurationVar(&cfg.flushDeadline, "flush-deadline", 0, "serving parties: bound every in-flush receive on a 2PC pair, so a stalled peer fails that pair (triggering failover/revival) instead of wedging it forever (0: unbounded)")
+	flag.DurationVar(&cfg.queueTarget, "queue-target", 0, "gateway: shed a query at admission when its estimated completion exceeds this queue-time target (0: off)")
+	flag.IntVar(&cfg.quota, "quota", 0, "gateway: max in-flight admitted queries per model; submissions over the quota are shed at admission with a descriptive error (0: unbounded)")
+	flag.IntVar(&cfg.queueCap, "queue-cap", 0, "party 1: bound the batcher's pending queue, shedding submissions over it; gateway: per-shard-lane queue bound (0: unbounded / the lane default)")
+	flag.IntVar(&cfg.reprovision, "reprovision", 0, "gateway: background store re-provisioning — build and swap in the next store generation once a shard's remaining preprocessed budget drops below this many correlations; the vendor must run -lifecycle to accept the handoff links (0: off)")
+	flag.StringVar(&cfg.statusJSON, "status-json", "", "gateway: dump shard status (admission/shed/deadline counters included) as JSON to this file on SIGUSR1 and at shutdown (empty: off)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pasnet-server:", err)
@@ -345,6 +371,7 @@ func runVendor(cfg config) error {
 	if err != nil {
 		return err
 	}
+	sess.SetFlushDeadline(cfg.flushDeadline)
 	if cfg.store != "" {
 		dp := pi.NewDirProvider(cfg.store)
 		if err := dp.Preload(0); err != nil {
@@ -372,6 +399,7 @@ func runMultiVendor(cfg config) error {
 	if err != nil {
 		return err
 	}
+	reg.SetFlushDeadline(cfg.flushDeadline)
 	n := reg.TotalShards()
 	l, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
@@ -420,10 +448,13 @@ func runGateway(cfg config) error {
 		return err
 	}
 	opts := gateway.RouterOptions{
-		Batch:    cfg.batch,
-		Window:   cfg.window,
-		Pipeline: cfg.pipeline,
-		Dial:     func(gateway.ShardDesc) (transport.Conn, error) { return transport.Dial(cfg.connect) },
+		Batch:         cfg.batch,
+		Window:        cfg.window,
+		Pipeline:      cfg.pipeline,
+		QueueCap:      cfg.queueCap,
+		FlushDeadline: cfg.flushDeadline,
+		QueueTarget:   cfg.queueTarget,
+		Dial:          func(gateway.ShardDesc) (transport.Conn, error) { return transport.Dial(cfg.connect) },
 	}
 	switch cfg.sched {
 	case "roundrobin":
@@ -432,17 +463,26 @@ func runGateway(cfg config) error {
 	default:
 		return fmt.Errorf("unknown -sched %q (want roundrobin or queue)", cfg.sched)
 	}
+	if cfg.quota > 0 {
+		opts.ModelQuotas = map[string]int{}
+		for _, id := range reg.Models() {
+			opts.ModelQuotas[id] = cfg.quota
+		}
+	}
 	if cfg.lifecycle {
 		opts.Lifecycle = &sched.LifecycleOptions{}
-		if cfg.store != "" {
-			// Revived generations get fresh store pairs of this coverage;
-			// the vendor derives the same policy from its own flags.
-			batches, err := parseBatchSizes(cfg.batches)
-			if err != nil {
-				return err
-			}
-			reg.SetProvision(batches, cfg.flushes)
+	}
+	if cfg.reprovision > 0 {
+		opts.Reprovision = &gateway.ReprovisionOptions{BudgetFloor: cfg.reprovision}
+	}
+	if (cfg.lifecycle || cfg.reprovision > 0) && cfg.store != "" {
+		// Revived and handed-off generations get fresh store pairs of this
+		// coverage; the vendor derives the same policy from its own flags.
+		batches, err := parseBatchSizes(cfg.batches)
+		if err != nil {
+			return err
 		}
+		reg.SetProvision(batches, cfg.flushes)
 	}
 	fmt.Printf("gateway: connecting %d shard link(s) to %s\n", reg.TotalShards(), cfg.connect)
 	rt, err := gateway.NewRouter(reg, opts)
@@ -458,23 +498,52 @@ func runGateway(cfg config) error {
 	if cfg.budgetWarn > 0 {
 		go budgetMonitor(rt, cfg.budgetWarn, stopMonitor)
 	}
+	// -status-json: dump the live shard status on demand (SIGUSR1) and
+	// once more at shutdown, so operators can watch admission counters
+	// without scraping logs.
+	var sig chan os.Signal
+	if cfg.statusJSON != "" {
+		sig = make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGUSR1)
+		go func() {
+			for range sig {
+				if err := writeStatusJSON(cfg.statusJSON, rt.Status()); err != nil {
+					fmt.Println("gateway: status dump:", err)
+				} else {
+					fmt.Println("gateway: status dumped to", cfg.statusJSON)
+				}
+			}
+		}()
+	}
 
 	var serveErr error
 	if cfg.clientListen == "" {
 		runGatewayLocalQueries(cfg, reg, rt)
 	} else {
-		serveErr = serveClients(cfg, func(tc *transport.TCPConn) error {
-			return handleGatewayClient(tc, rt, reg)
+		serveErr = serveClients(cfg, func(c transport.Conn) error {
+			return handleGatewayClient(c, rt, reg)
 		})
 	}
 	close(stopMonitor)
 	if err := rt.Close(); err != nil {
 		return err
 	}
+	if cfg.statusJSON != "" {
+		signal.Stop(sig)
+		close(sig)
+		if err := writeStatusJSON(cfg.statusJSON, rt.Status()); err != nil {
+			fmt.Println("gateway: final status dump:", err)
+		} else {
+			fmt.Println("gateway: final status dumped to", cfg.statusJSON)
+		}
+	}
 	for _, st := range rt.Status() {
 		line := fmt.Sprintf("gateway: %s shard %d served %d queries in %d flushes", st.Model, st.Shard, st.Queries, st.Flushes)
 		if st.EWMAFlushMS > 0 || st.EWMARowMS > 0 {
 			line += fmt.Sprintf(" (≈%.1fms + %.2fms/row per flush, speed ×%.2f)", st.EWMAFlushMS, st.EWMARowMS, st.Speed)
+		}
+		if st.Shed > 0 || st.Deadlined > 0 {
+			line += fmt.Sprintf(" (admitted %d, shed %d, deadline deaths %d)", st.Admitted, st.Shed, st.Deadlined)
 		}
 		if st.Budget >= 0 {
 			line += fmt.Sprintf(" (budget: %d correlations left)", st.Budget)
@@ -485,6 +554,9 @@ func runGateway(cfg config) error {
 		if st.Revived > 0 {
 			line += fmt.Sprintf(" (revived ×%d, generation %d)", st.Revived, st.Gen)
 		}
+		if st.Reprovisioned > 0 {
+			line += fmt.Sprintf(" (re-provisioned ×%d, generation %d)", st.Reprovisioned, st.Gen)
+		}
 		if st.Quarantined {
 			line += " (QUARANTINED: " + st.Down + ")"
 		} else if st.Down != "" {
@@ -493,6 +565,20 @@ func runGateway(cfg config) error {
 		fmt.Println(line)
 	}
 	return serveErr
+}
+
+// writeStatusJSON publishes one status snapshot atomically (temp file +
+// rename), so a reader polling the path never sees a torn dump.
+func writeStatusJSON(path string, sts []gateway.ShardStatus) error {
+	data, err := json.MarshalIndent(sts, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // budgetMonitor polls the router's status and logs a re-provision warning
@@ -578,6 +664,7 @@ func runFrontend(cfg config) error {
 	if err != nil {
 		return err
 	}
+	sess.SetFlushDeadline(cfg.flushDeadline)
 	if cfg.store != "" {
 		dp := pi.NewDirProvider(cfg.store)
 		if err := dp.Preload(1); err != nil {
@@ -593,14 +680,18 @@ func runFrontend(cfg config) error {
 		fmt.Printf("party 1: flushing batch of %d\n", b.Shape[0])
 		return sess.Query(b)
 	})
+	if cfg.queueCap > 0 {
+		batcher.SetQueueCap(cfg.queueCap)
+		fmt.Printf("party 1: shedding submissions past %d pending queries\n", cfg.queueCap)
+	}
 
 	var serveErr error
 	if cfg.clientListen == "" {
 		runLocalQueries(cfg, d, batcher)
 	} else {
 		spec := demoQuerySpec(cfg.backbone, cfg.batch)
-		serveErr = serveClients(cfg, func(tc *transport.TCPConn) error {
-			return handleClient(tc, batcher, spec)
+		serveErr = serveClients(cfg, func(c transport.Conn) error {
+			return handleClient(c, batcher, spec)
 		})
 	}
 	// Tear down in order even when client serving failed, so party 0 sees
@@ -641,7 +732,7 @@ func runLocalQueries(cfg config, d *dataset.Dataset, batcher *pi.Batcher) {
 // serveClients accepts -clients connections and pipes each through the
 // given per-connection handler, so concurrent clients land in shared
 // flushes.
-func serveClients(cfg config, handle func(*transport.TCPConn) error) error {
+func serveClients(cfg config, handle func(transport.Conn) error) error {
 	l, err := net.Listen("tcp", cfg.clientListen)
 	if err != nil {
 		return err
@@ -675,7 +766,7 @@ type replyWriter struct {
 	writeErr chan error // the writer sends exactly one value
 }
 
-func newReplyWriter(tc *transport.TCPConn) *replyWriter {
+func newReplyWriter(tc transport.Conn) *replyWriter {
 	w := &replyWriter{
 		waits:    make(chan func() ([]float64, error), 256),
 		writeErr: make(chan error, 1),
@@ -732,7 +823,7 @@ func (w *replyWriter) finish() error {
 // are received through the bounded path: the expected payload size is
 // computed from the already-received shape frame, so a hostile length
 // header is rejected before any allocation.
-func handleClient(tc *transport.TCPConn, batcher *pi.Batcher, spec *gateway.ModelSpec) error {
+func handleClient(tc transport.Conn, batcher *pi.Batcher, spec *gateway.ModelSpec) error {
 	defer tc.Close()
 	w := newReplyWriter(tc)
 	for {
@@ -780,7 +871,7 @@ func handleClient(tc *transport.TCPConn, batcher *pi.Batcher, spec *gateway.Mode
 // per-query error frames; the data frame is received through the bounded
 // path sized by the validated shape (or the registry-wide maximum when the
 // query was rejected, so draining cannot be abused either).
-func handleGatewayClient(tc *transport.TCPConn, rt *gateway.Router, reg *gateway.Registry) error {
+func handleGatewayClient(tc transport.Conn, rt *gateway.Router, reg *gateway.Registry) error {
 	defer tc.Close()
 	w := newReplyWriter(tc)
 	maxElems := registryMaxElems(reg)

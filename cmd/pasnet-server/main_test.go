@@ -1,0 +1,186 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"pasnet/internal/gateway"
+	"pasnet/internal/models"
+	"pasnet/internal/nn"
+	"pasnet/internal/rng"
+	"pasnet/internal/tensor"
+	"pasnet/internal/transport"
+)
+
+// smallModel hand-builds a tiny trained-enough network so the serving
+// tests never pay backbone training time (mirrors the gateway suite's
+// test model).
+func smallModel(seed uint64) (*models.Model, []int) {
+	r := rng.New(seed)
+	const hw = 8
+	net := nn.NewNetwork(nn.NewSequential(
+		nn.NewConv2D("c1", tensor.ConvSpec{InC: 2, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}, false, r),
+		nn.NewBatchNorm2D("bn1", 4),
+		nn.NewX2Act("a1", hw*hw*4),
+		nn.NewGlobalAvgPool(),
+		nn.NewFlatten(),
+		nn.NewLinear("fc", 4, 3, r),
+	))
+	for i := 0; i < 4; i++ {
+		net.Forward(tensor.New(8, 2, hw, hw).RandNorm(r, 0.5), true)
+	}
+	return &models.Model{Name: "m", Net: net}, []int{2, hw, hw}
+}
+
+// clientReply is one reply frame as the client protocol sees it: logits,
+// or a kind-`e` error frame's message.
+type clientReply struct {
+	logits []float64
+	errMsg string
+}
+
+// runPipelinedClient speaks the gateway client protocol over one conn:
+// pipeline every query, end the stream, then collect every reply in
+// order.
+func runPipelinedClient(t *testing.T, c transport.Conn, model string, queries []*tensor.Tensor) []clientReply {
+	t.Helper()
+	maxReply := 0
+	for _, x := range queries {
+		if err := c.SendModelShape(model, x.Shape); err != nil {
+			t.Error(err)
+			return nil
+		}
+		if err := c.SendUint64s(floatBits(x.Data)); err != nil {
+			t.Error(err)
+			return nil
+		}
+		if len(x.Data) > maxReply {
+			maxReply = len(x.Data)
+		}
+	}
+	if err := c.SendModelShape("", nil); err != nil {
+		t.Error(err)
+		return nil
+	}
+	out := make([]clientReply, len(queries))
+	for i := range queries {
+		vals, errMsg, err := c.RecvReply(maxReply)
+		if err != nil {
+			t.Errorf("reply %d: %v", i, err)
+			return nil
+		}
+		out[i] = clientReply{logits: bitsToFloats(vals), errMsg: errMsg}
+	}
+	return out
+}
+
+// TestGatewayClientErrorFrameDemux pins the overload client contract:
+// concurrent pipelined clients against a quota-1 gateway each get every
+// reply, in order, on their own connection — shed queries come back as
+// descriptive kind-`e` error frames, bad-geometry queries as their own
+// error frames, and the queries admitted alongside them still return
+// correct logits. One client's shed or malformed query never poisons a
+// co-batched neighbor or drops anyone's connection.
+func TestGatewayClientErrorFrameDemux(t *testing.T) {
+	m, input := smallModel(101)
+	reg := gateway.NewRegistry()
+	if err := reg.Register(&gateway.ModelSpec{ID: "m", Model: m, Input: input, Shards: gateway.Shards("m", 1, 77, "")}); err != nil {
+		t.Fatal(err)
+	}
+	lb := gateway.NewLoopback(reg)
+	rt, err := gateway.NewRouter(reg, gateway.RouterOptions{
+		Batch:       4,
+		Dial:        lb.Dial,
+		ModelQuotas: map[string]int{"m": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := func(x *tensor.Tensor) []float64 { return m.Net.Forward(x, false).Data }
+
+	const clients = 4
+	const perClient = 4
+	r := rng.New(5)
+	queries := make([][]*tensor.Tensor, clients)
+	for c := range queries {
+		queries[c] = make([]*tensor.Tensor, perClient)
+		for q := range queries[c] {
+			if q == 2 {
+				// Wrong geometry: must come back as this query's own error
+				// frame, nothing more.
+				queries[c][q] = tensor.New(1, 3, 6, 6).RandNorm(r, 0.5)
+				continue
+			}
+			queries[c][q] = tensor.New(1, 2, 8, 8).RandNorm(r, 0.5)
+		}
+	}
+
+	replies := make([][]clientReply, clients)
+	var handlerErrs [clients]error
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		srv, cli := transport.Pipe()
+		wg.Add(2)
+		go func(c int) {
+			defer wg.Done()
+			handlerErrs[c] = handleGatewayClient(srv, rt, reg)
+		}(c)
+		go func(c int, cli transport.Conn) {
+			defer wg.Done()
+			defer cli.Close()
+			replies[c] = runPipelinedClient(t, cli, "m", queries[c])
+		}(c, cli)
+	}
+	wg.Wait()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Wait(); err != nil {
+		t.Fatalf("vendor side: %v", err)
+	}
+
+	served, shed := 0, 0
+	for c := 0; c < clients; c++ {
+		if handlerErrs[c] != nil {
+			t.Fatalf("client %d handler: %v", c, handlerErrs[c])
+		}
+		if len(replies[c]) != perClient {
+			t.Fatalf("client %d got %d replies, want %d", c, len(replies[c]), perClient)
+		}
+		for q, rep := range replies[c] {
+			if q == 2 {
+				if !strings.Contains(rep.errMsg, "does not match") {
+					t.Fatalf("client %d bad-geometry query must get its own error frame, got %+v", c, rep)
+				}
+				continue
+			}
+			if rep.errMsg != "" {
+				if !strings.Contains(rep.errMsg, "quota") {
+					t.Fatalf("client %d query %d unexpected error frame: %s", c, q, rep.errMsg)
+				}
+				shed++
+				continue
+			}
+			served++
+			want := plain(queries[c][q])
+			d := 0.0
+			for i := range want {
+				if v := math.Abs(rep.logits[i] - want[i]); v > d {
+					d = v
+				}
+			}
+			if len(rep.logits) != len(want) || d > 0.05 {
+				t.Fatalf("client %d query %d demuxed wrong logits (diff %v): a shed or rejected neighbor poisoned it", c, q, d)
+			}
+		}
+	}
+	if served == 0 {
+		t.Fatal("no query was served at all")
+	}
+	if shed == 0 {
+		t.Fatal("quota 1 under 4 pipelining clients must shed at least one query")
+	}
+	t.Logf("served %d, shed %d of %d valid queries", served, shed, clients*(perClient-1))
+}

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"pasnet/internal/corr"
 	"pasnet/internal/models"
@@ -151,6 +152,11 @@ type Registry struct {
 	progs map[string]*pi.Program
 	// provMu serializes store (re-)provisioning within this process.
 	provMu sync.Mutex
+	// flushDeadline bounds every receive a vendor session performs inside
+	// one flush (pi.Session.SetFlushDeadline); zero leaves receives
+	// unbounded. The gateway side configures its own sessions through
+	// RouterOptions.FlushDeadline.
+	flushDeadline time.Duration
 }
 
 // ProvisionPolicy records how shard stores are provisioned: which flush
@@ -201,25 +207,54 @@ func (r *Registry) Provision() *ProvisionPolicy {
 	return r.provision
 }
 
+// SetFlushDeadline bounds every receive a vendor serving session performs
+// inside one flush: a peer that goes silent mid-flush fails the session
+// with a deadline error instead of wedging the serving goroutine forever.
+// Zero (the default) leaves receives unbounded.
+func (r *Registry) SetFlushDeadline(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushDeadline = d
+}
+
+// FlushDeadline returns the configured vendor-side flush deadline.
+func (r *Registry) FlushDeadline() time.Duration {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.flushDeadline
+}
+
 // claimShard reserves one (model, shard) pair at a lifecycle generation
-// for a vendor link. A claim is rejected while the pair's previous link
-// is still live (whatever the generation — only a dead pair may be
-// revived) and for any generation at or below one already burned; the
-// serving loop releases the claim's liveness when its link ends
-// (releaseShard), keeping the generation burned forever.
-func (r *Registry) claimShard(model string, shard, gen int) error {
+// for a vendor link. A non-handoff claim is rejected while the pair's
+// previous link is still live (whatever the generation — only a dead pair
+// may be revived) and for any generation at or below one already burned;
+// the serving loop releases the claim's liveness when its link ends
+// (releaseShard), keeping the generation burned forever. A handoff claim
+// (the gateway's background re-provisioner announcing a planned
+// generation swap) is allowed to supersede a live link — but only at a
+// strictly newer generation, so a replayed or duplicate handoff hello
+// can never re-run a generation's one-time correlation stream.
+func (r *Registry) claimShard(model string, shard, gen int, handoff bool) error {
 	key := fmt.Sprintf("%s/%d", model, shard)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	prev, ok := r.claims[key]
-	if ok && prev.live {
+	if ok && prev.live && !handoff {
 		return fmt.Errorf("gateway: model %q shard %d is already served by a live link at generation %d — a second pair on the same dealer seed would reuse its correlation stream: %w", model, shard, prev.gen, errPairStillLive)
 	}
 	if ok && gen <= prev.gen {
-		return fmt.Errorf("gateway: model %q shard %d was already served at generation %d — a revival must claim a strictly newer generation", model, shard, prev.gen)
+		return fmt.Errorf("gateway: model %q shard %d was already served at generation %d — a %s must claim a strictly newer generation", model, shard, prev.gen, claimWord(handoff))
 	}
 	r.claims[key] = shardClaim{gen: gen, live: true}
 	return nil
+}
+
+// claimWord names the claim flavor in rejection prose.
+func claimWord(handoff bool) string {
+	if handoff {
+		return "handoff"
+	}
+	return "revival"
 }
 
 // releaseShard marks a claim's link dead (the generation stays burned).

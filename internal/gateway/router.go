@@ -44,10 +44,47 @@ type RouterOptions struct {
 	// the registry records a provisioning policy — fresh store pairs
 	// under per-generation directories.
 	Lifecycle *sched.LifecycleOptions
+	// FlushDeadline bounds every receive a shard session performs inside
+	// one flush: a vendor that goes silent mid-flush poisons its pair with
+	// a deadline error — triggering failover and lifecycle revival —
+	// instead of wedging the lane's worker forever. Zero (the default)
+	// leaves receives unbounded. Deploy the matching vendor-side bound
+	// with Registry.SetFlushDeadline.
+	FlushDeadline time.Duration
+	// QueueTarget sheds a query at admission when its estimated completion
+	// time (queue depth plus in-flight work, scaled by the model's
+	// calibrated flush-latency model) exceeds the target: under sustained
+	// overload, queries fail fast with sched.ErrShed instead of queueing
+	// into multi-second latency for everyone. Zero disables the bound. An
+	// uncalibrated fleet (no flush observed yet) admits everything.
+	QueueTarget time.Duration
+	// ModelQuotas caps each model's in-flight admitted queries; a query
+	// arriving at the cap is shed with sched.ErrShed. Zero/absent models
+	// are unbounded.
+	ModelQuotas map[string]int
+	// Reprovision, when non-nil, runs the background store re-provisioner:
+	// a watcher that sees a store-backed shard's flush budget dropping
+	// toward BudgetFloor, builds the next generation's store pair and
+	// session off-path, and swaps the lane onto it without dropping
+	// queries — so a fleet survives store exhaustion with zero shed load
+	// instead of burning a pair death and a revival on it.
+	Reprovision *ReprovisionOptions
 	// Dial opens the party-1 side of one shard's 2PC link. Nil dials
 	// desc.Endpoint over TCP; in-process deployments pass a Loopback's
 	// Dial, tests substitute pipes.
 	Dial func(desc ShardDesc) (transport.Conn, error)
+}
+
+// ReprovisionOptions tunes the background store re-provisioner.
+type ReprovisionOptions struct {
+	// BudgetFloor is the budget threshold that triggers building the next
+	// generation (minimum 1), in the units ShardStatus.Budget reports:
+	// remaining preprocessed correlations as stamped by the store (one
+	// flush of an N-row geometry consumes one tape's worth). Size it to
+	// several flushes' demand, so the swap lands before the lane runs dry.
+	BudgetFloor int
+	// Poll is how often shard budgets are checked (default 50ms).
+	Poll time.Duration
 }
 
 // ShardStatus is one shard lane's routing and scheduling snapshot — the
@@ -67,6 +104,11 @@ type Router struct {
 	opts RouterOptions
 	disp *sched.Dispatcher
 	dial func(desc ShardDesc) (transport.Conn, error)
+
+	// Background re-provisioner lifecycle (nil/zero when disabled).
+	stopProv chan struct{}
+	provWG   sync.WaitGroup
+	stopOnce sync.Once
 }
 
 // NewRouter connects and sets up every registered shard: per (model,
@@ -93,10 +135,12 @@ func NewRouter(reg *Registry, opts RouterOptions) (*Router, error) {
 		opts: opts,
 		dial: dial,
 		disp: sched.NewDispatcher(sched.Options{
-			Batch:    opts.Batch,
-			Window:   opts.Window,
-			Policy:   opts.Policy,
-			QueueCap: opts.QueueCap,
+			Batch:       opts.Batch,
+			Window:      opts.Window,
+			Policy:      opts.Policy,
+			QueueCap:    opts.QueueCap,
+			QueueTarget: opts.QueueTarget,
+			ModelQuotas: opts.ModelQuotas,
 		}),
 	}
 	// Connect concurrently into pre-sized slots, then register lanes in
@@ -123,7 +167,7 @@ func NewRouter(reg *Registry, opts RouterOptions) (*Router, error) {
 			wg.Add(1)
 			go func(spec *ModelSpec, lanes []sched.FlushSession, i int) {
 				defer wg.Done()
-				sess, err := rt.connectShard(spec, spec.Shards[i], 0)
+				sess, err := rt.connectShard(spec, spec.Shards[i], 0, false)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -157,24 +201,35 @@ func NewRouter(reg *Registry, opts RouterOptions) (*Router, error) {
 	if opts.Lifecycle != nil {
 		rt.disp.EnableLifecycle(rt.reviveShard, *opts.Lifecycle)
 	}
+	if opts.Reprovision != nil {
+		rt.stopProv = make(chan struct{})
+		rt.provWG.Add(1)
+		go rt.reprovisionLoop(*opts.Reprovision)
+	}
 	return rt, nil
 }
 
 // connectShard establishes one shard's serving stack at a lifecycle
 // generation: dial, hello handshake, session setup, store provider, and
-// the flush-schedule wrapper the dispatcher drives.
-func (rt *Router) connectShard(spec *ModelSpec, desc ShardDesc, gen int) (sched.FlushSession, error) {
+// the flush-schedule wrapper the dispatcher drives. handoff marks the
+// hello as a planned generation swap, which the vendor accepts while the
+// previous link still serves (a revival hello would be rejected until
+// the vendor notices the torn pair).
+func (rt *Router) connectShard(spec *ModelSpec, desc ShardDesc, gen int, handoff bool) (sched.FlushSession, error) {
 	conn, err := rt.dial(desc)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: dial model %q shard %d: %w", desc.Model, desc.Shard, err)
 	}
-	// Hello handshake: name the (model, shard) — and, for revivals, the
-	// generation — this link serves, then wait for the vendor's acceptance
-	// before the expensive weight sharing. A non-empty reply is the
-	// vendor's rejection reason.
+	// Hello handshake: name the (model, shard) — and, for revivals and
+	// handoffs, the generation — this link serves, then wait for the
+	// vendor's acceptance before the expensive weight sharing. A non-empty
+	// reply is the vendor's rejection reason.
 	hello := []int{desc.Shard}
 	if gen > 0 {
 		hello = append(hello, gen)
+	}
+	if handoff {
+		hello = append(hello, 1)
 	}
 	if err := conn.SendModelShape(desc.Model, hello); err != nil {
 		conn.Close()
@@ -215,6 +270,9 @@ func (rt *Router) connectShard(spec *ModelSpec, desc ShardDesc, gen int) (sched.
 		conn.Close()
 		return nil, fmt.Errorf("gateway: model %q shard %d session: %w", desc.Model, desc.Shard, err)
 	}
+	// Bound every in-flush receive: a vendor stalled mid-protocol fails
+	// this pair with a deadline error instead of wedging its lane worker.
+	sess.SetFlushDeadline(rt.opts.FlushDeadline)
 	if storeDir != "" {
 		dp := pi.NewDirProvider(storeDir)
 		// Deserialization belongs to setup, not to any flush's online path.
@@ -247,7 +305,82 @@ func (rt *Router) reviveShard(model string, shard, gen int) (sched.FlushSession,
 			return nil, err
 		}
 	}
-	return rt.connectShard(spec, desc, gen)
+	return rt.connectShard(spec, desc, gen, false)
+}
+
+// reprovisionLoop is the background store re-provisioner: it polls shard
+// budgets and, when a healthy store-backed lane's remaining flushes drop
+// below the floor, builds the next generation — fresh store pair, fresh
+// dealer stream, fresh session via a handoff hello the vendor accepts
+// while the old link still serves — and swaps the lane onto it in-order
+// through the dispatch queue. Queries keep flowing the whole time; the
+// only lane downtime is the swap marker's turn in the queue.
+func (rt *Router) reprovisionLoop(opts ReprovisionOptions) {
+	defer rt.provWG.Done()
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	floor := opts.BudgetFloor
+	if floor < 1 {
+		floor = 1
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	// swapped remembers the newest generation this loop already built per
+	// lane, so one slow budget drain doesn't trigger a second build while
+	// the first swap still rides the queue.
+	swapped := map[string]int{}
+	for {
+		select {
+		case <-rt.stopProv:
+			return
+		case <-ticker.C:
+		}
+		for _, st := range rt.disp.Status() {
+			if st.Down != "" || st.Quarantined || st.Budget < 0 || st.Budget >= floor {
+				continue
+			}
+			key := fmt.Sprintf("%s/%d", st.Model, st.Shard)
+			if swapped[key] > st.Gen {
+				continue // next generation already built and queued
+			}
+			gen, err := rt.disp.NextGen(st.Model, st.Shard)
+			if err != nil {
+				continue
+			}
+			sess, err := rt.handoffSession(st.Model, st.Shard, gen)
+			if err != nil {
+				continue // retried next tick; the burned gen stays burned
+			}
+			if err := rt.disp.SwapSession(st.Model, st.Shard, gen, sess); err != nil {
+				sess.Kill()
+				continue
+			}
+			swapped[key] = gen
+		}
+	}
+}
+
+// handoffSession builds one shard's next-generation serving stack while
+// the previous generation still serves: re-provision the generation's
+// store pair (when a provisioning policy exists) and connect with a
+// handoff hello.
+func (rt *Router) handoffSession(model string, shard, gen int) (sched.FlushSession, error) {
+	spec, err := rt.reg.Lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	if shard < 0 || shard >= len(spec.Shards) {
+		return nil, fmt.Errorf("gateway: model %q has no shard %d to re-provision", model, shard)
+	}
+	desc := spec.Shards[shard]
+	if desc.StoreDir != "" && rt.reg.Provision() != nil {
+		if _, err := ReprovisionShardStore(rt.reg, model, shard, gen); err != nil {
+			return nil, err
+		}
+	}
+	return rt.connectShard(spec, desc, gen, true)
 }
 
 // shardPrivSeed derives a party's private randomness seed for one shard
@@ -289,13 +422,18 @@ func (rt *Router) Status() []ShardStatus {
 	return rt.disp.Status()
 }
 
-// Close shuts the router down gracefully: new submissions are rejected
-// with a descriptive error, everything already queued drains through
-// final flushes, each healthy pair gets the end-of-session sentinel, and
-// the links close. The first close failure on a healthy pair is returned
-// — a shutdown that could not close cleanly should be visible, not
+// Close shuts the router down gracefully: the background re-provisioner
+// (if any) stops first, then new submissions are rejected with a
+// descriptive error, everything already queued drains through final
+// flushes, each healthy pair gets the end-of-session sentinel, and the
+// links close. The first close failure on a healthy pair is returned —
+// a shutdown that could not close cleanly should be visible, not
 // swallowed. Idempotent, and safe to race with submissions.
 func (rt *Router) Close() error {
+	if rt.stopProv != nil {
+		rt.stopOnce.Do(func() { close(rt.stopProv) })
+		rt.provWG.Wait()
+	}
 	return rt.disp.Close()
 }
 

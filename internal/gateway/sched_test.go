@@ -281,25 +281,38 @@ func TestShardClaimLifecycle(t *testing.T) {
 	if err := reg.Register(&ModelSpec{ID: "m", Model: m, Input: input, Shards: Shards("m", 1, 7, "")}); err != nil {
 		t.Fatal(err)
 	}
-	if err := reg.claimShard("m", 0, 0); err != nil {
+	if err := reg.claimShard("m", 0, 0, false); err != nil {
 		t.Fatalf("first claim: %v", err)
 	}
 	// While the gen-0 link is live, even a higher-generation hello is a
 	// second pair on the shard — rejected.
-	if err := reg.claimShard("m", 0, 1); err == nil || !strings.Contains(err.Error(), "live link") {
+	if err := reg.claimShard("m", 0, 1, false); err == nil || !strings.Contains(err.Error(), "live link") {
 		t.Fatalf("claim over a live link must be rejected, got: %v", err)
 	}
 	reg.releaseShard("m", 0, 0)
 	// Dead pair: the burned generation stays rejected, a newer one is
 	// accepted.
-	if err := reg.claimShard("m", 0, 0); err == nil || !strings.Contains(err.Error(), "already served") {
+	if err := reg.claimShard("m", 0, 0, false); err == nil || !strings.Contains(err.Error(), "already served") {
 		t.Fatalf("re-claim of a burned generation must be rejected, got: %v", err)
 	}
-	if err := reg.claimShard("m", 0, 1); err != nil {
+	if err := reg.claimShard("m", 0, 1, false); err != nil {
 		t.Fatalf("revival claim at the next generation: %v", err)
 	}
-	if err := reg.claimShard("m", 0, 2); err == nil || !strings.Contains(err.Error(), "live link") {
+	if err := reg.claimShard("m", 0, 2, false); err == nil || !strings.Contains(err.Error(), "live link") {
 		t.Fatalf("gen-1 link is live; gen-2 claim must be rejected, got: %v", err)
+	}
+	// A handoff claim supersedes the live link — but only at a strictly
+	// newer generation, so a replayed handoff hello can never re-run one.
+	if err := reg.claimShard("m", 0, 1, true); err == nil || !strings.Contains(err.Error(), "strictly newer") {
+		t.Fatalf("handoff at the live generation must be rejected, got: %v", err)
+	}
+	if err := reg.claimShard("m", 0, 2, true); err != nil {
+		t.Fatalf("handoff claim at the next generation: %v", err)
+	}
+	// The superseded gen-1 link's release must not mark gen 2 dead.
+	reg.releaseShard("m", 0, 1)
+	if err := reg.claimShard("m", 0, 3, false); err == nil || !strings.Contains(err.Error(), "live link") {
+		t.Fatalf("gen-2 handoff link is live; a revival claim must be rejected, got: %v", err)
 	}
 
 	// Over the wire, the still-live rejection carries the explicit retry

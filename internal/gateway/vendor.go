@@ -31,7 +31,10 @@ import (
 // records a provisioning policy, a freshly re-provisioned store pair in
 // the generation's own directory (otherwise the revived pair serves from
 // the live dealer; the registered store would replay a stream the dead
-// pair already partly consumed).
+// pair already partly consumed). A hello of [shard, gen, 1] is a planned
+// handoff — the gateway's background re-provisioner building the next
+// generation while the previous link still serves — so the claim may
+// supersede a live link, provided the generation is strictly newer.
 func ServeShardConn(conn transport.Conn, reg *Registry) error {
 	// The link is owned here on every path — rejected hellos included —
 	// so a lifecycle vendor accepting revival dials for months never
@@ -46,13 +49,13 @@ func ServeShardConn(conn transport.Conn, reg *Registry) error {
 		_ = conn.SendBytes([]byte(err.Error()))
 		return err
 	}
-	if len(hello) < 1 || len(hello) > 2 || hello[0] < 0 || hello[0] >= len(spec.Shards) {
+	if len(hello) < 1 || len(hello) > 3 || hello[0] < 0 || hello[0] >= len(spec.Shards) {
 		err := fmt.Errorf("gateway: model %q has no shard %v (have %d)", model, hello, len(spec.Shards))
 		_ = conn.SendBytes([]byte(err.Error()))
 		return err
 	}
 	gen := 0
-	if len(hello) == 2 {
+	if len(hello) >= 2 {
 		gen = hello[1]
 	}
 	if gen < 0 {
@@ -60,7 +63,16 @@ func ServeShardConn(conn transport.Conn, reg *Registry) error {
 		_ = conn.SendBytes([]byte(err.Error()))
 		return err
 	}
-	if err := reg.claimShard(model, hello[0], gen); err != nil {
+	handoff := false
+	if len(hello) == 3 {
+		if hello[2] != 0 && hello[2] != 1 {
+			err := fmt.Errorf("gateway: model %q shard %d hello carries bad handoff flag %d (want 0 or 1)", model, hello[0], hello[2])
+			_ = conn.SendBytes([]byte(err.Error()))
+			return err
+		}
+		handoff = hello[2] == 1
+	}
+	if err := reg.claimShard(model, hello[0], gen, handoff); err != nil {
 		// A still-live prior link is the one rejection the dialer should
 		// retry (the vendor just hasn't noticed the torn pair yet); the
 		// ack carries the explicit retry token, not error prose.
@@ -97,6 +109,9 @@ func ServeShardConn(conn transport.Conn, reg *Registry) error {
 	if err != nil {
 		return fmt.Errorf("gateway: model %q shard %d vendor session: %w", model, desc.Shard, err)
 	}
+	// Bound every in-flush receive so a gateway that stalls mid-protocol
+	// fails this link instead of wedging the serving goroutine forever.
+	sess.SetFlushDeadline(reg.FlushDeadline())
 	if storeDir != "" {
 		dp := pi.NewDirProvider(storeDir)
 		if err := dp.Preload(0); err != nil {

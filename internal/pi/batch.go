@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"pasnet/internal/corr"
 	"pasnet/internal/models"
@@ -245,6 +246,35 @@ type Session struct {
 	// fallbacks; it is the per-shard budget telemetry the gateway surfaces
 	// through Router.Status.
 	budget atomic.Int64
+	// flushDeadline, when positive, bounds each flush's transport receives
+	// (see SetFlushDeadline). Set before traffic flows.
+	flushDeadline time.Duration
+}
+
+// SetFlushDeadline bounds every flush's transport receives to d: party 1
+// arms the connection's read deadline when it announces a flush, party 0
+// when a flush's shape frame arrives — never while party 0 idles between
+// flushes, which is legitimate quiet, not a stall. A peer that goes
+// silent mid-flush then fails the flush with an error satisfying
+// errors.Is(err, os.ErrDeadlineExceeded) instead of wedging the session's
+// goroutine forever; the 2PC pair is poisoned either way (any flush error
+// is terminal for the pair), so the deadline converts a hung worker into
+// an ordinary shard death the lifecycle can revive. Zero disables. Call
+// before traffic flows.
+func (s *Session) SetFlushDeadline(d time.Duration) { s.flushDeadline = d }
+
+// armDeadline starts (or extends) the current flush's receive deadline.
+func (s *Session) armDeadline() {
+	if s.flushDeadline > 0 {
+		_ = s.party.Conn.SetReadDeadline(time.Now().Add(s.flushDeadline))
+	}
+}
+
+// clearDeadline lifts the deadline for the idle wait between flushes.
+func (s *Session) clearDeadline() {
+	if s.flushDeadline > 0 {
+		_ = s.party.Conn.SetReadDeadline(time.Time{})
+	}
 }
 
 // Fallbacks reports how many flushes ran on the live dealer because the
@@ -438,6 +468,11 @@ func (s *Session) ServeOne() (logits []float64, done bool, err error) {
 	if shape == nil {
 		return nil, true, nil
 	}
+	// The shape frame proves the peer started a flush; every receive from
+	// here to the reveal is bounded. The idle RecvShape above is not — a
+	// serving party legitimately waits arbitrarily long for traffic.
+	s.armDeadline()
+	defer s.clearDeadline()
 	if err := s.negotiateSource(shape); err != nil {
 		return nil, false, err
 	}

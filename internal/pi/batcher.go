@@ -2,6 +2,7 @@ package pi
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -13,6 +14,13 @@ import (
 // final flush or gets this error — never a silent drop and never a query
 // racing the teardown of the underlying session.
 var ErrBatcherClosed = errors.New("pi: batcher is closed to new queries (deployment shutting down)")
+
+// ErrBatcherFull rejects submissions that would grow the pending queue
+// past its configured cap (SetQueueCap). An overloaded server then sheds
+// load at admission with a descriptive error the client can retry on,
+// instead of queueing without bound until memory — and every queued
+// client's latency — blows up.
+var ErrBatcherFull = errors.New("pi: batcher queue is full (server overloaded, retry later)")
 
 // FlushFunc evaluates one packed batch (ΣN×C×H×W) and returns the flat
 // batched logits, row-major over the batch. Session.Query is the deployed
@@ -35,6 +43,7 @@ type Batcher struct {
 	flush  FlushFunc
 
 	mu      sync.Mutex
+	cap     int
 	pending []batchReq
 	timer   *time.Timer
 	closed  bool
@@ -63,6 +72,16 @@ func NewBatcher(max int, window time.Duration, flush FlushFunc) *Batcher {
 	return &Batcher{max: max, window: window, flush: flush}
 }
 
+// SetQueueCap bounds the pending queue to at most n queries; a submission
+// that would exceed it fails immediately with an error wrapping
+// ErrBatcherFull. n <= 0 restores the default unbounded queue. Safe to
+// call concurrently with submissions.
+func (b *Batcher) SetQueueCap(n int) {
+	b.mu.Lock()
+	b.cap = n
+	b.mu.Unlock()
+}
+
 // Submit queues one query (C×H×W or N×C×H×W) and blocks until the flush
 // containing it completes, returning this query's logits.
 func (b *Batcher) Submit(x *tensor.Tensor) ([]float64, error) {
@@ -81,6 +100,12 @@ func (b *Batcher) SubmitAsync(x *tensor.Tensor) func() ([]float64, error) {
 	if b.closed {
 		b.mu.Unlock()
 		return func() ([]float64, error) { return nil, ErrBatcherClosed }
+	}
+	if b.cap > 0 && len(b.pending) >= b.cap {
+		n := len(b.pending)
+		b.mu.Unlock()
+		err := fmt.Errorf("pi: query rejected: %d queries already pending at queue cap %d: %w", n, b.cap, ErrBatcherFull)
+		return func() ([]float64, error) { return nil, err }
 	}
 	b.pending = append(b.pending, batchReq{x: x, reply: reply})
 	full := len(b.pending) >= b.max

@@ -1,6 +1,7 @@
 package pi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -241,6 +242,54 @@ func TestBatcherSubmitVsCloseRace(t *testing.T) {
 		}
 		if flushedRows.Load() != served.Load() {
 			t.Fatalf("flushed %d rows but served %d submitters", flushedRows.Load(), served.Load())
+		}
+	}
+}
+
+// TestBatcherQueueCap pins load shedding at the frontend: with a queue
+// cap set, submissions over the cap are rejected immediately with an
+// error wrapping ErrBatcherFull, queued queries are untouched and still
+// complete, and clearing the cap restores unbounded queueing.
+func TestBatcherQueueCap(t *testing.T) {
+	release := make(chan struct{})
+	flushed := make(chan struct{}, 16)
+	b := NewBatcher(1, 0, func(x *tensor.Tensor) ([]float64, error) {
+		flushed <- struct{}{}
+		<-release
+		return []float64{x.Data[0]}, nil
+	})
+	defer b.Close()
+	b.SetQueueCap(2)
+	// The first submission flushes immediately (batch 1) and blocks in
+	// the flush func, so the next two occupy the pending queue.
+	w0 := b.SubmitAsync(taggedQuery(0))
+	<-flushed
+	w1 := b.SubmitAsync(taggedQuery(1))
+	w2 := b.SubmitAsync(taggedQuery(2))
+	// Queue full: the next submission sheds without blocking.
+	if _, err := b.SubmitAsync(taggedQuery(3))(); !errors.Is(err, ErrBatcherFull) {
+		t.Fatalf("submission over the cap must shed with ErrBatcherFull, got: %v", err)
+	}
+	// Shedding disturbed nothing queued: release the flushes and every
+	// admitted query demuxes its own result.
+	close(release)
+	for i, w := range []func() ([]float64, error){w0, w1, w2} {
+		logits, err := w()
+		if err != nil {
+			t.Fatalf("admitted query %d: %v", i, err)
+		}
+		if len(logits) != 1 || logits[0] != float64(i) {
+			t.Fatalf("admitted query %d got %v", i, logits)
+		}
+	}
+	// Cap cleared: the same depth is admitted again.
+	b.SetQueueCap(0)
+	w4 := b.SubmitAsync(taggedQuery(4))
+	w5 := b.SubmitAsync(taggedQuery(5))
+	w6 := b.SubmitAsync(taggedQuery(6))
+	for i, w := range []func() ([]float64, error){w4, w5, w6} {
+		if _, err := w(); err != nil {
+			t.Fatalf("uncapped query %d: %v", i, err)
 		}
 	}
 }

@@ -70,6 +70,11 @@ func (s *Session) QueryAnnounce(x *tensor.Tensor) (*Flight, error) {
 	if s.party.ID != 1 {
 		return nil, fmt.Errorf("pi: QueryAnnounce is party 1's side; party 0 serves")
 	}
+	// Each announce re-arms the flush deadline; party 1 performs no
+	// receive outside a flush, so the deadline never fires while idle. In
+	// a pipelined schedule the previous flush's deferred reveal receive
+	// inherits the extension, which only ever grants it more time.
+	s.armDeadline()
 	if err := s.party.Conn.SendShape(x.Shape); err != nil {
 		return nil, fmt.Errorf("pi: shape negotiation: %w", err)
 	}

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestModelQuotaSheds pins quota admission: a model at its in-flight cap
+// sheds the next submission with ErrShed, the hold is released when a
+// query delivers, and the lane's admitted/shed counters surface it all.
+func TestModelQuotaSheds(t *testing.T) {
+	d := NewDispatcher(Options{Batch: 1, ModelQuotas: map[string]int{"m": 2}})
+	s := newFakeSession(30*time.Millisecond, -1)
+	addLanes(t, d, "m", s)
+	// Two in-flight queries fill the quota; the third is shed immediately.
+	w1 := d.SubmitAsync("m", query(1))
+	w2 := d.SubmitAsync("m", query(1))
+	if _, err := d.Submit("m", query(1)); !errors.Is(err, ErrShed) {
+		t.Fatalf("third in-flight query must be shed, got: %v", err)
+	} else if !strings.Contains(err.Error(), "quota") {
+		t.Fatalf("quota shed must name the quota, got: %v", err)
+	}
+	if _, err := w1(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2(); err != nil {
+		t.Fatal(err)
+	}
+	// Delivery released the holds: the model admits again.
+	if _, err := d.Submit("m", query(1)); err != nil {
+		t.Fatalf("quota must release on delivery, got: %v", err)
+	}
+	st := d.Status()
+	if len(st) != 1 || st[0].Admitted != 3 || st[0].Shed != 1 {
+		t.Fatalf("counters: admitted=%d shed=%d, want 3/1", st[0].Admitted, st[0].Shed)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueTargetSheds pins queue-time admission: a cold (uncalibrated)
+// fleet admits everything; once a flush has calibrated the model's
+// latency, a submission whose estimated completion exceeds the target is
+// shed descriptively while earlier ones in the same burst are admitted.
+func TestQueueTargetSheds(t *testing.T) {
+	d := NewDispatcher(Options{Batch: 1, QueueTarget: 60 * time.Millisecond})
+	s := newFakeSession(5*time.Millisecond, -1)
+	addLanes(t, d, "m", s)
+	// Cold fleet: even with a 60ms target and an unknown latency, the
+	// first query must be admitted, and it calibrates the model.
+	if _, err := d.Submit("m", query(4)); err != nil {
+		t.Fatalf("uncalibrated fleet must admit, got: %v", err)
+	}
+	// Saturate: a 16-row flush (~80ms) in flight already exceeds the
+	// target for anything queued behind it.
+	heavy := d.SubmitAsync("m", query(16))
+	waits := make([]func() ([]float64, error), 12)
+	for i := range waits {
+		waits[i] = d.SubmitAsync("m", query(4))
+	}
+	admitted, shed := 0, 0
+	for i, wait := range waits {
+		_, err := wait()
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, ErrShed):
+			if !strings.Contains(err.Error(), "queue-time target") {
+				t.Fatalf("queue-target shed must name the target, got: %v", err)
+			}
+			shed++
+		default:
+			t.Fatalf("query %d: unexpected error: %v", i, err)
+		}
+	}
+	if _, err := heavy(); err != nil {
+		t.Fatal(err)
+	}
+	if shed == 0 {
+		t.Fatalf("a saturated lane must shed (admitted %d, shed %d)", admitted, shed)
+	}
+	st := d.Status()
+	if st[0].Shed != int64(shed) {
+		t.Fatalf("status shed=%d, want %d", st[0].Shed, shed)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapSessionGraceful pins the generation-handoff mechanism the
+// background re-provisioner drives: SwapSession rides the lane queue, so
+// queries already enqueued flush on the old session, later ones on the
+// new, the old session gets a graceful Close (the end-of-session
+// sentinel, not a Kill), and the lane's generation and handoff counter
+// advance.
+func TestSwapSessionGraceful(t *testing.T) {
+	d := NewDispatcher(Options{Batch: 1})
+	oldSess := newFakeSession(0, -1)
+	addLanes(t, d, "m", oldSess)
+	for q := 0; q < 3; q++ {
+		if _, err := d.Submit("m", query(1)); err != nil {
+			t.Fatalf("pre-swap query %d: %v", q, err)
+		}
+	}
+	gen, err := d.NextGen("m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen < 1 {
+		t.Fatalf("next generation must be >= 1, got %d", gen)
+	}
+	newSess := newFakeSession(0, -1)
+	if err := d.SwapSession("m", 0, gen, newSess); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "old session closed by the swap", func() bool { return oldSess.closed.Load() })
+	if oldSess.killed.Load() {
+		t.Fatal("a graceful handoff must Close the old session, not Kill it")
+	}
+	pre := oldSess.flushes.Load()
+	for q := 0; q < 3; q++ {
+		if _, err := d.Submit("m", query(1)); err != nil {
+			t.Fatalf("post-swap query %d: %v", q, err)
+		}
+	}
+	if oldSess.flushes.Load() != pre {
+		t.Fatal("post-swap queries must not touch the old session")
+	}
+	if got := newSess.flushes.Load(); got != 3 {
+		t.Fatalf("new session served %d flushes, want 3", got)
+	}
+	st := d.Status()
+	if st[0].Gen != gen || st[0].Reprovisioned != 1 {
+		t.Fatalf("status gen=%d reprovisioned=%d, want %d/1", st[0].Gen, st[0].Reprovisioned, gen)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapSessionOntoDeadLane pins the swap × death race: a swap whose
+// lane died before the marker is handled must kill the replacement (its
+// pair would otherwise leak) instead of resurrecting a lane the
+// lifecycle owns.
+func TestSwapSessionOntoDeadLane(t *testing.T) {
+	d := NewDispatcher(Options{Batch: 1})
+	addLanes(t, d, "m", newFakeSession(0, 0)) // fails its first flush
+	if _, err := d.Submit("m", query(1)); err == nil {
+		t.Fatal("the only lane failing must surface an error")
+	}
+	waitFor(t, "lane marked down", func() bool { return d.Status()[0].Down != "" })
+	replacement := newFakeSession(0, -1)
+	gen, err := d.NextGen("m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SwapSession("m", 0, gen, replacement); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "replacement killed", func() bool { return replacement.killed.Load() })
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

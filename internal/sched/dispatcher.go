@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,14 @@ const (
 // Queries already queued are drained through final flushes first.
 var ErrDispatcherClosed = errors.New("sched: dispatcher is closed to new queries (deployment shutting down)")
 
+// ErrShed marks a query rejected at admission — over a model's in-flight
+// quota, or headed for a lane whose estimated completion already exceeds
+// the queue-time target. Shed queries never touch a lane queue: the
+// submitter gets the error immediately (a serving frontend forwards it as
+// a kind-'e' error frame) and can retry or back off, instead of queueing
+// into a latency it would never accept.
+var ErrShed = errors.New("sched: query shed by admission control (deployment overloaded)")
+
 // Options configures a Dispatcher.
 type Options struct {
 	// Batch is the max queries packed into one flush (minimum 1).
@@ -47,21 +56,61 @@ type Options struct {
 	Window time.Duration
 	// Policy picks shards (default RoundRobin).
 	Policy Policy
+	// QueueTarget, when positive, enables queue-time admission control: a
+	// query whose picked lane's estimated completion time (the pooled
+	// latency model times the lane's speed ratio, over its backlog plus
+	// the candidate) exceeds the target is shed with ErrShed instead of
+	// queued. Until the model's first flush completes the estimate has no
+	// time units, so a cold fleet admits everything — admission control
+	// bounds the tail of a running deployment, it does not gate warmup.
+	QueueTarget time.Duration
+	// ModelQuotas caps each model's in-flight admitted queries (admission
+	// through reply); submissions over the cap are shed with ErrShed.
+	// Missing or non-positive entries leave the model unlimited.
+	ModelQuotas map[string]int
 }
 
 // item is one routed query: the tensor, its row weight for scoring, and
-// the reply slot its submitter waits on.
+// the reply slot its submitter waits on. An item with swap set is not a
+// query at all but a generation-handoff marker riding the lane queue (see
+// SwapSession); it carries no tensor and holds no counters.
 type item struct {
 	model    string
 	x        *tensor.Tensor
 	rows     int64
 	attempts int
 	reply    chan itemResult
+	// g, when non-nil, holds the model group whose quota this item
+	// occupies until delivery.
+	g    *group
+	swap *swapReq
+}
+
+// swapReq asks a lane to install a re-provisioned session between flushes.
+type swapReq struct {
+	sess FlushSession
+	gen  int
 }
 
 type itemResult struct {
 	logits []float64
 	err    error
+}
+
+// release returns the item's quota hold, if it took one. Idempotent.
+func (it *item) release() {
+	if it.g != nil {
+		it.g.held.Add(-1)
+		it.g = nil
+	}
+}
+
+// deliver resolves the item's reply and releases its quota hold. Every
+// reply path must go through it — a hold leaked on any error path would
+// shrink the model's quota for the deployment's lifetime.
+func (it *item) deliver(r itemResult) {
+	it.release()
+	it.reply <- r
 }
 
 // worker is one (model, shard) serving lane: a bounded queue drained by a
@@ -81,6 +130,9 @@ type worker struct {
 	inflightFlush atomic.Int64 // flushes begun and not yet completed
 	queries       atomic.Int64 // queries routed here (failover retries count)
 	flushes       atomic.Int64
+	admitted      atomic.Int64 // queries admission control let through to this lane
+	shed          atomic.Int64 // queries admission control rejected off this lane
+	deadlined     atomic.Int64 // pair deaths caused by an expired flush deadline
 
 	mu          sync.Mutex
 	speed       float64 // EWMA of actual/predicted flush duration (1: nominal)
@@ -93,6 +145,11 @@ type worker struct {
 	strikes     int
 	revivedAt   time.Time
 	revived     int
+	swaps       int // graceful generation handoffs installed (SwapSession)
+
+	// pendingSwap stashes a swap marker gather() pulled mid-batch until
+	// the flush it interrupted has begun. Worker-goroutine only.
+	pendingSwap *swapReq
 
 	comp sync.WaitGroup // outstanding flush-completion goroutines
 	done chan struct{}  // worker loop exited (dispatcher Close)
@@ -161,40 +218,56 @@ func (lm *latModel) params() (f, c float64, ok bool) {
 	return f, c, true
 }
 
-// ShardStatus is one shard lane's scheduling snapshot.
+// ShardStatus is one shard lane's scheduling snapshot. The JSON tags are
+// the scrape format pasnet-server's -status-json dump uses.
 type ShardStatus struct {
-	Model   string
-	Shard   int
-	Queries int64
-	Flushes int64
+	Model   string `json:"model"`
+	Shard   int    `json:"shard"`
+	Queries int64  `json:"queries"`
+	Flushes int64  `json:"flushes"`
 	// QueuedRows and InFlightRows are the backlog the queue-aware picker
 	// scores: rows waiting in the lane's queue and rows inside flushes
 	// that have not completed.
-	QueuedRows   int64
-	InFlightRows int64
+	QueuedRows   int64 `json:"queued_rows"`
+	InFlightRows int64 `json:"inflight_rows"`
 	// EWMAFlushMS and EWMARowMS are the model group's pooled latency
 	// model — a flush costs about EWMAFlushMS plus EWMARowMS per batch
 	// row (both 0 until the group's first flush completes) — and Speed is
 	// this lane's actual/predicted duration ratio (1: nominal; higher:
 	// the lane runs slow and the picker avoids it proportionally).
-	EWMAFlushMS float64
-	EWMARowMS   float64
-	Speed       float64
+	EWMAFlushMS float64 `json:"ewma_flush_ms"`
+	EWMARowMS   float64 `json:"ewma_row_ms"`
+	Speed       float64 `json:"speed"`
+	// Admitted and Shed are the lane's admission-control counters:
+	// queries the picker sent here that were let through, and queries it
+	// would have sent here that were rejected (over the model quota or
+	// the queue-time target) with ErrShed.
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+	// Deadlined counts pair deaths caused by an expired flush deadline —
+	// a stalled or half-dead peer detected by the read-deadline bound
+	// instead of wedging the lane's worker.
+	Deadlined int64 `json:"deadlined"`
 	// Budget is the shard's remaining preprocessed-correlation count from
 	// the latest source-stamp round (-1: live dealer / unknown).
-	Budget int
+	Budget int `json:"budget"`
 	// Fallbacks counts flushes degraded to the live dealer.
-	Fallbacks int
+	Fallbacks int `json:"fallbacks"`
 	// Gen is the pair's lifecycle generation (0: the original dial; n>0:
-	// revived n times with fresh streams and stores).
-	Gen int
+	// revived or gracefully handed off n times with fresh streams and
+	// stores).
+	Gen int `json:"gen"`
 	// Revived counts successful revivals.
-	Revived int
+	Revived int `json:"revived"`
+	// Reprovisioned counts graceful generation handoffs: background
+	// re-provisioning swapped in a fresh store generation without the
+	// lane ever going down.
+	Reprovisioned int `json:"reprovisioned"`
 	// Quarantined marks a pair the lifecycle gave up on (kept dying).
-	Quarantined bool
+	Quarantined bool `json:"quarantined"`
 	// Down is empty while the shard serves; otherwise the error that
 	// killed the pair (awaiting revival, or final if quarantined).
-	Down string
+	Down string `json:"down,omitempty"`
 }
 
 // Dispatcher routes queries across shard lanes. It owns one bounded work
@@ -222,6 +295,9 @@ type Dispatcher struct {
 type group struct {
 	workers []*worker
 	rr      atomic.Uint64
+	// held counts the model's in-flight admitted queries against
+	// Options.ModelQuotas (admission through reply delivery).
+	held atomic.Int64
 
 	lmu sync.Mutex
 	lat latModel
@@ -283,13 +359,18 @@ func (d *Dispatcher) EnableLifecycle(revive ReviveFunc, opts LifecycleOptions) *
 	return d.lc
 }
 
-// pick chooses the serving lane for a query of the given row weight.
-func (d *Dispatcher) pick(model string, rows int64) (*worker, error) {
+// pick chooses the serving lane for a query of the given row weight. est
+// is the chosen lane's estimated completion for its backlog plus the
+// candidate, in nanoseconds when calibrated is true — i.e. once the
+// group's latency model has its first completed flush. Uncalibrated
+// estimates are unit-free priors usable only for relative ranking, never
+// against a wall-clock target.
+func (d *Dispatcher) pick(model string, rows int64) (w *worker, est float64, calibrated bool, err error) {
 	d.mu.RLock()
 	g, ok := d.groups[model]
 	d.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("sched: no model %q has dispatch lanes", model)
+		return nil, 0, false, fmt.Errorf("sched: no model %q has dispatch lanes", model)
 	}
 	n := len(g.workers)
 	start := int(g.rr.Add(1) - 1)
@@ -302,10 +383,13 @@ func (d *Dispatcher) pick(model string, rows int64) (*worker, error) {
 	// Either way every lane compares in the same units.
 	batch := float64(d.opts.Batch)
 	f, c := batch, 1.0
-	if d.opts.Policy == QueueAware {
+	// The queue-time target needs a time-units estimate even under
+	// RoundRobin, so the model is consulted whenever either feature
+	// wants it.
+	if d.opts.Policy == QueueAware || d.opts.QueueTarget > 0 {
 		g.lmu.Lock()
 		if gf, gc, ok := g.lat.params(); ok {
-			f, c = gf, gc
+			f, c, calibrated = gf, gc, true
 		}
 		g.lmu.Unlock()
 	}
@@ -313,13 +397,10 @@ func (d *Dispatcher) pick(model string, rows int64) (*worker, error) {
 	var bestScore float64
 	var lastErr error
 	for i := 0; i < n; i++ {
-		w := g.workers[(start+i)%n]
-		if err := w.downErr(); err != nil {
+		cand := g.workers[(start+i)%n]
+		if err := cand.downErr(); err != nil {
 			lastErr = err
 			continue
-		}
-		if d.opts.Policy == RoundRobin {
-			return w, nil
 		}
 		// Estimated completion of this lane's backlog plus the candidate:
 		// pending flushes (in flight, plus the queue folded at the batch
@@ -327,20 +408,23 @@ func (d *Dispatcher) pick(model string, rows int64) (*worker, error) {
 		// term; the lane's speed ratio scales the whole estimate. Ties
 		// keep the rotating start's order, so an idle fleet degrades to
 		// round-robin.
-		w.mu.Lock()
-		speed := w.speed
-		w.mu.Unlock()
-		estFlushes := float64(w.inflightFlush.Load()) + ceilDiv(float64(w.queuedQueries.Load())+1, batch)
-		estRows := float64(w.queuedRows.Load()+w.inflightRows.Load()) + float64(rows)
+		cand.mu.Lock()
+		speed := cand.speed
+		cand.mu.Unlock()
+		estFlushes := float64(cand.inflightFlush.Load()) + ceilDiv(float64(cand.queuedQueries.Load())+1, batch)
+		estRows := float64(cand.queuedRows.Load()+cand.inflightRows.Load()) + float64(rows)
 		score := speed * (estFlushes*f + estRows*c)
+		if d.opts.Policy == RoundRobin {
+			return cand, score, calibrated, nil
+		}
 		if best == nil || score < bestScore {
-			best, bestScore = w, score
+			best, bestScore = cand, score
 		}
 	}
 	if best != nil {
-		return best, nil
+		return best, bestScore, calibrated, nil
 	}
-	return nil, fmt.Errorf("sched: all %d shard(s) of model %q are down: %w", n, model, lastErr)
+	return nil, 0, false, fmt.Errorf("sched: all %d shard(s) of model %q are down: %w", n, model, lastErr)
 }
 
 // Submit routes one query and blocks for its logits.
@@ -361,11 +445,31 @@ func (d *Dispatcher) SubmitAsync(model string, x *tensor.Tensor) func() ([]float
 		rows = int64(x.Shape[0])
 	}
 	it := &item{model: model, x: x, rows: rows, reply: make(chan itemResult, 1)}
-	w, err := d.pick(model, rows)
+	w, est, calibrated, err := d.pick(model, rows)
 	if err != nil {
 		return failedWait(err)
 	}
+	// Admission control, both checks at the submission edge: the quota
+	// hold is taken optimistically (increment, then compare) so a burst
+	// can never slip past the cap between check and hold, and released on
+	// every reply path via item.deliver.
+	if quota := d.opts.ModelQuotas[model]; quota > 0 {
+		if held := w.g.held.Add(1); held > int64(quota) {
+			w.g.held.Add(-1)
+			w.shed.Add(1)
+			return failedWait(fmt.Errorf("sched: model %q already has %d in-flight queries at its quota of %d: %w", model, held-1, quota, ErrShed))
+		}
+		it.g = w.g
+	}
+	if target := d.opts.QueueTarget; target > 0 && calibrated && est > float64(target.Nanoseconds()) {
+		it.release()
+		w.shed.Add(1)
+		return failedWait(fmt.Errorf("sched: model %q query shed: estimated completion %.1fms on shard %d exceeds the %.1fms queue-time target: %w",
+			model, est/1e6, w.shard, float64(target.Nanoseconds())/1e6, ErrShed))
+	}
+	w.admitted.Add(1)
 	if err := d.enqueue(w, it); err != nil {
+		it.release()
 		return failedWait(err)
 	}
 	return func() ([]float64, error) {
@@ -436,20 +540,24 @@ func (d *Dispatcher) failover(items []*item, cause error) {
 		}
 		d.mu.RUnlock()
 		if it.attempts > 2*lanes {
-			it.reply <- itemResult{err: fmt.Errorf("sched: model %q query failed on %d shard assignment(s), giving up: %w", it.model, it.attempts, cause)}
+			it.deliver(itemResult{err: fmt.Errorf("sched: model %q query failed on %d shard assignment(s), giving up: %w", it.model, it.attempts, cause)})
 			continue
 		}
-		w, err := d.pick(it.model, it.rows)
+		// Failover re-dispatches keep their original admission hold and
+		// are never re-shed: the query was admitted once, and bouncing it
+		// for load after a shard death would turn every pair loss into
+		// client-visible churn.
+		w, _, _, err := d.pick(it.model, it.rows)
 		if err != nil {
-			it.reply <- itemResult{err: err}
+			it.deliver(itemResult{err: err})
 			continue
 		}
 		ok, err := d.tryEnqueue(w, it)
 		switch {
 		case err != nil:
-			it.reply <- itemResult{err: err}
+			it.deliver(itemResult{err: err})
 		case !ok:
-			it.reply <- itemResult{err: fmt.Errorf("sched: model %q shard %d died and every healthy shard's queue is full; query rejected after %d assignment(s): %w", it.model, w.shard, it.attempts, cause)}
+			it.deliver(itemResult{err: fmt.Errorf("sched: model %q shard %d died and every healthy shard's queue is full; query rejected after %d assignment(s): %w", it.model, w.shard, it.attempts, cause)})
 		}
 	}
 }
@@ -465,6 +573,63 @@ func (d *Dispatcher) Status() []ShardStatus {
 		}
 	}
 	return out
+}
+
+// findWorker resolves one lane.
+func (d *Dispatcher) findWorker(model string, shard int) *worker {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	g, ok := d.groups[model]
+	if !ok {
+		return nil
+	}
+	for _, w := range g.workers {
+		if w.shard == shard {
+			return w
+		}
+	}
+	return nil
+}
+
+// NextGen reserves and returns the lane's next never-attempted lifecycle
+// generation. Graceful re-provisioning and crash revival share one
+// monotonic numbering per lane, so a background handoff and a concurrent
+// revival can never both claim the same generation from the vendor.
+func (d *Dispatcher) NextGen(model string, shard int) (int, error) {
+	w := d.findWorker(model, shard)
+	if w == nil {
+		return 0, fmt.Errorf("sched: model %q shard %d has no dispatch lane", model, shard)
+	}
+	return w.nextGen(), nil
+}
+
+// SwapSession installs a re-provisioned session on a serving lane without
+// dropping queries: the swap rides the lane queue like a query, so it
+// lands between flushes — everything enqueued before it completes on the
+// old session, everything after runs on the new one, and the old session
+// is closed gracefully (its end-of-session sentinel releases the vendor's
+// claim). It is the mechanism behind gateway background re-provisioning:
+// store exhaustion becomes a generation handoff instead of a pair death.
+// SwapSession returns once the swap is enqueued; a lane that dies before
+// the marker drains belongs to the lifecycle, and the replacement is
+// killed when the marker is handled.
+func (d *Dispatcher) SwapSession(model string, shard, gen int, sess FlushSession) error {
+	w := d.findWorker(model, shard)
+	if w == nil {
+		sess.Kill()
+		return fmt.Errorf("sched: model %q shard %d has no dispatch lane", model, shard)
+	}
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		sess.Kill()
+		return ErrDispatcherClosed
+	}
+	d.sends.Add(1)
+	d.mu.RUnlock()
+	defer d.sends.Done()
+	w.queue <- &item{swap: &swapReq{sess: sess, gen: gen}}
+	return nil
 }
 
 // Close rejects new submissions, drains every lane's queued work through
@@ -543,11 +708,12 @@ func (w *worker) session() FlushSession {
 func (w *worker) status() ShardStatus {
 	w.mu.Lock()
 	st := ShardStatus{
-		Model:       w.model,
-		Shard:       w.shard,
-		Gen:         w.gen,
-		Revived:     w.revived,
-		Quarantined: w.quarantined,
+		Model:         w.model,
+		Shard:         w.shard,
+		Gen:           w.gen,
+		Revived:       w.revived,
+		Reprovisioned: w.swaps,
+		Quarantined:   w.quarantined,
 	}
 	if w.down != nil {
 		st.Down = w.down.Error()
@@ -565,6 +731,9 @@ func (w *worker) status() ShardStatus {
 	st.Flushes = w.flushes.Load()
 	st.QueuedRows = w.queuedRows.Load()
 	st.InFlightRows = w.inflightRows.Load()
+	st.Admitted = w.admitted.Load()
+	st.Shed = w.shed.Load()
+	st.Deadlined = w.deadlined.Load()
 	st.Budget = -1
 	if sess != nil {
 		st.Budget = sess.RemainingBudget()
@@ -583,6 +752,13 @@ func (w *worker) run() {
 		if !ok {
 			break
 		}
+		// Swap markers hold no queue counters and are handled before any
+		// decrement; they act between flushes by construction (the worker
+		// goroutine is the only flush starter).
+		if it.swap != nil {
+			w.handleSwap(it.swap)
+			continue
+		}
 		w.queuedQueries.Add(-1)
 		w.queuedRows.Add(-it.rows)
 		if err := w.downErr(); err != nil {
@@ -592,6 +768,10 @@ func (w *worker) run() {
 		w.inflightRows.Add(it.rows)
 		items := w.gather(it)
 		w.flush(items)
+		if ps := w.pendingSwap; ps != nil {
+			w.pendingSwap = nil
+			w.handleSwap(ps)
+		}
 	}
 	w.comp.Wait()
 	w.mu.Lock()
@@ -630,6 +810,13 @@ func (w *worker) gather(first *item) []*item {
 		if !ok {
 			return items
 		}
+		// A swap marker ends the batch: the handoff happens right after
+		// the flush it trails, never splitting a gathered batch across
+		// two sessions.
+		if it.swap != nil {
+			w.pendingSwap = it.swap
+			return items
+		}
 		w.queuedQueries.Add(-1)
 		w.queuedRows.Add(-it.rows)
 		w.inflightRows.Add(it.rows)
@@ -655,7 +842,7 @@ func (w *worker) flush(items []*item) {
 		// it does not poison the pair.
 		w.inflightRows.Add(-rows)
 		for _, it := range items {
-			it.reply <- itemResult{err: err}
+			it.deliver(itemResult{err: err})
 		}
 		return
 	}
@@ -686,12 +873,12 @@ func (w *worker) flush(items []*item) {
 		per, err := pi.SplitLogits(out, counts)
 		if err != nil {
 			for _, it := range items {
-				it.reply <- itemResult{err: err}
+				it.deliver(itemResult{err: err})
 			}
 			return
 		}
 		for i, it := range items {
-			it.reply <- itemResult{logits: per[i]}
+			it.deliver(itemResult{logits: per[i]})
 		}
 	}()
 }
@@ -745,6 +932,9 @@ func (w *worker) fail(err error, from FlushSession) {
 		return
 	}
 	w.down = err
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		w.deadlined.Add(1)
+	}
 	sess := w.sess
 	lc := w.d.lc
 	if lc != nil && !w.revivedAt.IsZero() {
@@ -761,6 +951,30 @@ func (w *worker) fail(err error, from FlushSession) {
 	}
 	if lc != nil && !quarantined {
 		lc.notify(w)
+	}
+}
+
+// handleSwap installs a re-provisioned session between flushes (worker
+// goroutine only; see SwapSession). The old session's graceful Close
+// waits out its in-flight pipelined receive and sends the end-of-session
+// sentinel, releasing the vendor's claim on the old generation; its
+// close error is irrelevant — the old pair is retired either way.
+func (w *worker) handleSwap(req *swapReq) {
+	w.mu.Lock()
+	if w.down != nil || w.quarantined {
+		// The lane died before the marker drained: revival owns it now,
+		// and installing the swap would race the lifecycle's resurrect.
+		w.mu.Unlock()
+		req.sess.Kill()
+		return
+	}
+	old := w.sess
+	w.sess = req.sess
+	w.gen = req.gen
+	w.swaps++
+	w.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
 	}
 }
 

@@ -40,6 +40,9 @@ type delayConn struct {
 	// once either endpoint closes.
 	dead chan struct{}
 	kill func()
+
+	dmu      sync.Mutex
+	deadline time.Time
 }
 
 // stamp records a send. The queue is far deeper than any protocol's
@@ -53,14 +56,28 @@ func (c *delayConn) stamp() {
 	}
 }
 
-// wait sleeps out the current frame's remaining delivery time.
+// wait sleeps out the current frame's remaining delivery time. An armed
+// read deadline bounds the wait for a stamp, otherwise a peer that never
+// sends would park the receiver here forever, out of reach of the inner
+// conn's deadline; on expiry wait falls through to the inner receive,
+// which fails immediately with the deadline error.
 func (c *delayConn) wait() {
+	c.dmu.Lock()
+	dl := c.deadline
+	c.dmu.Unlock()
+	var expiry <-chan time.Time
+	if !dl.IsZero() {
+		timer := time.NewTimer(time.Until(dl))
+		defer timer.Stop()
+		expiry = timer.C
+	}
 	select {
 	case ts := <-c.recvTS:
 		if s := time.Until(ts.Add(c.d)); s > 0 {
 			time.Sleep(s)
 		}
 	case <-c.dead:
+	case <-expiry:
 	}
 }
 
@@ -107,6 +124,13 @@ func (c *delayConn) SendError(msg string) error { c.stamp(); return c.inner.Send
 func (c *delayConn) RecvReply(maxElems int) ([]uint64, string, error) {
 	c.wait()
 	return c.inner.RecvReply(maxElems)
+}
+
+func (c *delayConn) SetReadDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.deadline = t
+	c.dmu.Unlock()
+	return c.inner.SetReadDeadline(t)
 }
 
 func (c *delayConn) Stats() Stats { return c.inner.Stats() }

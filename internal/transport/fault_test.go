@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMemConnReadDeadline pins the net.Conn deadline semantics the flush
+// deadline rests on: an armed deadline fails a blocked receive with an
+// error satisfying errors.Is(err, os.ErrDeadlineExceeded); an already
+// expired deadline fails immediately; clearing the deadline restores
+// unbounded receives.
+func TestMemConnReadDeadline(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := a.RecvUints()
+	if err == nil {
+		t.Fatal("receive past the deadline must fail")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("deadline error must satisfy errors.Is(err, os.ErrDeadlineExceeded), got: %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("deadline fired after %v, want ~30ms", time.Since(start))
+	}
+
+	// Already expired: fail immediately, without consuming queued frames.
+	if err := b.SendUints([]uint32{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetReadDeadline(time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RecvUints(); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("expired deadline must fail immediately, got: %v", err)
+	}
+
+	// Cleared: the queued frame delivers.
+	if err := a.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	xs, err := a.RecvUints()
+	if err != nil || len(xs) != 1 || xs[0] != 7 {
+		t.Fatalf("cleared deadline must deliver the queued frame, got %v, %v", xs, err)
+	}
+}
+
+// TestDelayPipeReadDeadline pins that a deadline unblocks a receive
+// waiting inside the delay model too — a stalled peer behind simulated
+// wire delay must not wedge the deadline machinery.
+func TestDelayPipeReadDeadline(t *testing.T) {
+	a, b := DelayPipe(50 * time.Millisecond)
+	defer a.Close()
+	defer b.Close()
+	if err := a.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := a.RecvUints(); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("delayed receive past the deadline must fail with the deadline error, got: %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("deadline fired after %v, want ~20ms", time.Since(start))
+	}
+}
+
+// TestFaultConnInertUntilArmed pins that an unarmed FaultConn passes
+// frames through without counting toward the plan.
+func TestFaultConnInertUntilArmed(t *testing.T) {
+	fc, peer := FaultPipe(0, FaultPlan{DropAt: 1})
+	defer fc.Close()
+	defer peer.Close()
+	for i := 0; i < 3; i++ {
+		if err := peer.SendUints([]uint32{uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+		xs, err := fc.RecvUints()
+		if err != nil || len(xs) != 1 || xs[0] != uint32(i) {
+			t.Fatalf("unarmed receive %d: got %v, %v", i, xs, err)
+		}
+	}
+}
+
+// TestFaultConnStallBoundedByDeadline pins the stall × deadline
+// interaction: a stall longer than the read deadline fails the receive
+// with the deadline error at roughly the deadline, not the stall length.
+func TestFaultConnStallBoundedByDeadline(t *testing.T) {
+	fc, peer := FaultPipe(0, FaultPlan{StallAt: 1, StallFor: time.Hour})
+	defer fc.Close()
+	defer peer.Close()
+	if err := peer.SendUints([]uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	fc.Arm()
+	if err := fc.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := fc.RecvUints(); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled receive must fail with the deadline error, got: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("stall slept %v, want it bounded near the 30ms deadline", time.Since(start))
+	}
+}
+
+// TestFaultConnDrop pins the drop fault: the scheduled receive fails
+// descriptively, every later operation stays failed, and the peer sees
+// EOF (the conn was genuinely torn down, not just error-stamped).
+func TestFaultConnDrop(t *testing.T) {
+	fc, peer := FaultPipe(0, FaultPlan{DropAt: 2})
+	defer fc.Close()
+	defer peer.Close()
+	fc.Arm()
+	if err := peer.SendUints([]uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.RecvUints(); err != nil {
+		t.Fatalf("receive before the drop point: %v", err)
+	}
+	_, err := fc.RecvUints()
+	if err == nil || !strings.Contains(err.Error(), "fault injection dropped") {
+		t.Fatalf("dropped receive must fail descriptively, got: %v", err)
+	}
+	if _, err := fc.RecvUints(); err == nil {
+		t.Fatal("operations after the drop must stay failed")
+	}
+	if _, err := peer.RecvUints(); !errors.Is(err, io.EOF) {
+		t.Fatalf("peer of a dropped conn must see EOF, got: %v", err)
+	}
+}
+
+// TestFaultConnCorrupt pins the corrupt fault: the scheduled receive
+// fails with a framing-style error, and — unlike a drop — the link
+// itself is not torn down.
+func TestFaultConnCorrupt(t *testing.T) {
+	fc, peer := FaultPipe(0, FaultPlan{CorruptAt: 1})
+	defer fc.Close()
+	defer peer.Close()
+	fc.Arm()
+	if err := peer.SendUints([]uint32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := fc.RecvUints()
+	if err == nil || !strings.Contains(err.Error(), "corrupted in flight") {
+		t.Fatalf("corrupted receive must fail with a framing error, got: %v", err)
+	}
+	// The frame the corruption replaced is still queued; the next receive
+	// (past the plan) delivers it.
+	xs, err := fc.RecvUints()
+	if err != nil || len(xs) != 2 {
+		t.Fatalf("receive after the corrupt point: got %v, %v", xs, err)
+	}
+}

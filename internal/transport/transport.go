@@ -10,7 +10,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Conn is a reliable, ordered, message-framed duplex channel between the
@@ -58,6 +61,14 @@ type Conn interface {
 	// (bounded by maxElems like RecvUint64sMax) or an error frame, whose
 	// message comes back as errMsg with a nil err.
 	RecvReply(maxElems int) (vals []uint64, errMsg string, err error)
+	// SetReadDeadline bounds every subsequent receive, with net.Conn
+	// semantics: a receive that has not completed by t fails with an error
+	// satisfying errors.Is(err, os.ErrDeadlineExceeded), and an
+	// already-expired deadline fails receives immediately. The zero time
+	// clears the deadline. Serving layers use it to bound each flush so a
+	// stalled or half-dead peer poisons its pair instead of wedging a
+	// worker goroutine forever.
+	SetReadDeadline(t time.Time) error
 	// Stats returns cumulative traffic counters for this endpoint.
 	Stats() Stats
 	// Close releases the underlying resources.
@@ -187,6 +198,9 @@ type MemConn struct {
 	send chan<- message
 	recv <-chan message
 	c    counter
+
+	dmu      sync.Mutex
+	deadline time.Time
 }
 
 // Pipe returns the two connected endpoints of an in-memory transport.
@@ -200,6 +214,46 @@ func Pipe() (*MemConn, *MemConn) {
 	return a, b
 }
 
+// SetReadDeadline implements Conn.
+func (m *MemConn) SetReadDeadline(t time.Time) error {
+	m.dmu.Lock()
+	m.deadline = t
+	m.dmu.Unlock()
+	return nil
+}
+
+// recvMsg takes the next frame off the pipe, honoring the read deadline
+// with net.Conn semantics: an expired deadline fails immediately (even if
+// a frame is already buffered), an armed one bounds the wait. All MemConn
+// receive paths go through it.
+func (m *MemConn) recvMsg() (message, error) {
+	m.dmu.Lock()
+	dl := m.deadline
+	m.dmu.Unlock()
+	if dl.IsZero() {
+		msg, ok := <-m.recv
+		if !ok {
+			return message{}, io.EOF
+		}
+		return msg, nil
+	}
+	wait := time.Until(dl)
+	if wait <= 0 {
+		return message{}, fmt.Errorf("transport: read deadline exceeded: %w", os.ErrDeadlineExceeded)
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case msg, ok := <-m.recv:
+		if !ok {
+			return message{}, io.EOF
+		}
+		return msg, nil
+	case <-timer.C:
+		return message{}, fmt.Errorf("transport: read deadline exceeded: %w", os.ErrDeadlineExceeded)
+	}
+}
+
 // SendUints implements Conn. The slice is copied so callers may reuse it.
 func (m *MemConn) SendUints(xs []uint32) error {
 	cp := make([]uint32, len(xs))
@@ -211,9 +265,9 @@ func (m *MemConn) SendUints(xs []uint32) error {
 
 // RecvUints implements Conn.
 func (m *MemConn) RecvUints() ([]uint32, error) {
-	msg, ok := <-m.recv
-	if !ok {
-		return nil, io.EOF
+	msg, err := m.recvMsg()
+	if err != nil {
+		return nil, err
 	}
 	if msg.kind != 'u' {
 		return nil, fmt.Errorf("transport: expected uint32 frame, got %q", msg.kind)
@@ -232,9 +286,9 @@ func (m *MemConn) SendUint64s(xs []uint64) error {
 
 // RecvUint64s implements Conn.
 func (m *MemConn) RecvUint64s() ([]uint64, error) {
-	msg, ok := <-m.recv
-	if !ok {
-		return nil, io.EOF
+	msg, err := m.recvMsg()
+	if err != nil {
+		return nil, err
 	}
 	if msg.kind != 'U' {
 		return nil, fmt.Errorf("transport: expected uint64 frame, got %q", msg.kind)
@@ -266,9 +320,9 @@ func (m *MemConn) SendBytes(b []byte) error {
 
 // RecvBytes implements Conn.
 func (m *MemConn) RecvBytes() ([]byte, error) {
-	msg, ok := <-m.recv
-	if !ok {
-		return nil, io.EOF
+	msg, err := m.recvMsg()
+	if err != nil {
+		return nil, err
 	}
 	if msg.kind != 'b' {
 		return nil, fmt.Errorf("transport: expected byte frame, got %q", msg.kind)
@@ -289,9 +343,9 @@ func (m *MemConn) SendShape(shape []int) error {
 
 // RecvShape implements Conn.
 func (m *MemConn) RecvShape() ([]int, error) {
-	msg, ok := <-m.recv
-	if !ok {
-		return nil, io.EOF
+	msg, err := m.recvMsg()
+	if err != nil {
+		return nil, err
 	}
 	if msg.kind != 's' {
 		return nil, fmt.Errorf("transport: expected shape frame, got %q", msg.kind)
@@ -312,9 +366,9 @@ func (m *MemConn) SendModelShape(model string, shape []int) error {
 
 // RecvModelShape implements Conn.
 func (m *MemConn) RecvModelShape() (string, []int, error) {
-	msg, ok := <-m.recv
-	if !ok {
-		return "", nil, io.EOF
+	msg, err := m.recvMsg()
+	if err != nil {
+		return "", nil, err
 	}
 	if msg.kind != 'm' {
 		return "", nil, fmt.Errorf("transport: expected model+shape frame, got %q", msg.kind)
@@ -332,9 +386,9 @@ func (m *MemConn) SendError(errMsg string) error {
 
 // RecvReply implements Conn.
 func (m *MemConn) RecvReply(maxElems int) ([]uint64, string, error) {
-	msg, ok := <-m.recv
-	if !ok {
-		return nil, "", io.EOF
+	msg, err := m.recvMsg()
+	if err != nil {
+		return nil, "", err
 	}
 	switch msg.kind {
 	case 'e':
@@ -614,6 +668,11 @@ func (t *TCPConn) RecvReply(maxElems int) ([]uint64, string, error) {
 		return nil, "", fmt.Errorf("transport: expected reply frame, got %q", kind)
 	}
 }
+
+// SetReadDeadline implements Conn by delegating to the network
+// connection; its timeout errors already satisfy
+// errors.Is(err, os.ErrDeadlineExceeded).
+func (t *TCPConn) SetReadDeadline(tm time.Time) error { return t.nc.SetReadDeadline(tm) }
 
 // Stats implements Conn.
 func (t *TCPConn) Stats() Stats { return t.c.stats() }
