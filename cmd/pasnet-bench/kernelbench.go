@@ -22,25 +22,29 @@ type kernelResult struct {
 }
 
 // kernelReport is the BENCH_kernel.json schema: the perf-trajectory file
-// CI archives so kernel regressions are visible across commits.
+// CI archives so kernel regressions are visible across commits. Every
+// workload is timed once per backend (naive, blocked, tiled);
+// SpeedupsLowered keeps the original naive-vs-default-lowered headline
+// (the default is now tiled) and SpeedupsTiled isolates what register
+// tiling buys over the cache-blocked kernel.
 type kernelReport struct {
-	GeneratedUnix int64              `json:"generated_unix"`
-	Workers       int                `json:"workers"`
-	Results       []kernelResult     `json:"results"`
-	Speedups      map[string]float64 `json:"speedups_lowered_over_naive"`
+	GeneratedUnix   int64              `json:"generated_unix"`
+	Workers         int                `json:"workers"`
+	Results         []kernelResult     `json:"results"`
+	SpeedupsLowered map[string]float64 `json:"speedups_lowered_over_naive"`
+	SpeedupsTiled   map[string]float64 `json:"speedups_tiled_over_blocked"`
 }
 
-// kernelBench times the naive scalar loops against the lowered
-// im2col/GEMM kernel — plaintext and through the full 2PC-Conv protocol —
+// kernelBenchBackends is the sweep order; entry names are base_backend.
+var kernelBenchBackends = []kernel.Backend{kernel.BackendNaive, kernel.BackendBlocked, kernel.BackendTiled}
+
+// kernelBench times every kernel backend on the exhibit workloads — conv
+// in both element domains and through the full 2PC-Conv protocol, plus the
+// square ring/float GEMM shapes the register-tiled microkernel targets —
 // and optionally writes BENCH_kernel.json into jsonDir.
 func kernelBench(jsonDir string) error {
-	if jsonDir != "" {
-		// Fail before spending ~30s of benchmarking on an unwritable target.
-		if st, err := os.Stat(jsonDir); err != nil {
-			return fmt.Errorf("benchjson dir: %w", err)
-		} else if !st.IsDir() {
-			return fmt.Errorf("benchjson target %s is not a directory", jsonDir)
-		}
+	if err := checkBenchDir(jsonDir); err != nil {
+		return err
 	}
 	convShape := kernel.ConvShape{N: 4, InC: 16, H: 16, W: 16, OutC: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
 	dims := mpc.ConvDims{N: 1, InC: 8, H: 16, W: 16, OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
@@ -55,6 +59,21 @@ func kernelBench(jsonDir string) error {
 	r.FillUint64(xu)
 	r.FillUint64(ku)
 	outU := make([]uint64, convShape.OutLen())
+
+	// Square GEMM shapes: the 2PC weight-times-activation matmuls (and the
+	// dealer's a@b triple products) are exactly these ring GEMMs, and they
+	// are where register tiling pays most.
+	const gemmSmall, gemmLarge = 128, 256
+	au := make([]uint64, gemmLarge*gemmLarge)
+	bu := make([]uint64, gemmLarge*gemmLarge)
+	r.FillUint64(au)
+	r.FillUint64(bu)
+	cu := make([]uint64, gemmLarge*gemmLarge)
+	af := make([]float64, gemmLarge*gemmLarge)
+	bf := make([]float64, gemmLarge*gemmLarge)
+	r.FillNorm(af, 1)
+	r.FillNorm(bf, 1)
+	cf := make([]float64, gemmLarge*gemmLarge)
 
 	run2pcConv := func() error {
 		xs := make([]float64, dims.InLen())
@@ -81,59 +100,57 @@ func kernelBench(jsonDir string) error {
 	}
 
 	var protoErr error
-	type entry struct {
-		name  string
-		naive bool
-		fn    func()
-	}
-	entries := []entry{
-		{"conv_f64_naive", true, func() { kernel.Conv2D(outF, xf, kf, convShape) }},
-		{"conv_f64_lowered", false, func() { kernel.Conv2D(outF, xf, kf, convShape) }},
-		{"conv_ring_naive", true, func() { kernel.Conv2D(outU, xu, ku, convShape) }},
-		{"conv_ring_lowered", false, func() { kernel.Conv2D(outU, xu, ku, convShape) }},
-		{"conv_2pc_naive", true, func() {
+	workloads := []struct {
+		base string
+		fn   func()
+	}{
+		{"conv_f64", func() { kernel.Conv2D(outF, xf, kf, convShape) }},
+		{"conv_ring", func() { kernel.Conv2D(outU, xu, ku, convShape) }},
+		{"conv_2pc", func() {
 			if err := run2pcConv(); err != nil && protoErr == nil {
 				protoErr = err
 			}
 		}},
-		{"conv_2pc_lowered", false, func() {
-			if err := run2pcConv(); err != nil && protoErr == nil {
-				protoErr = err
-			}
-		}},
+		{"gemm_ring_128", func() { kernel.MatMul(cu[:gemmSmall*gemmSmall], au, bu, gemmSmall, gemmSmall, gemmSmall) }},
+		{"gemm_ring_256", func() { kernel.MatMul(cu, au, bu, gemmLarge, gemmLarge, gemmLarge) }},
+		{"gemm_f64_256", func() { kernel.MatMul(cf, af, bf, gemmLarge, gemmLarge, gemmLarge) }},
 	}
 
 	rep := kernelReport{
-		GeneratedUnix: time.Now().Unix(),
-		Workers:       kernel.Workers(),
-		Speedups:      map[string]float64{},
+		GeneratedUnix:   time.Now().Unix(),
+		Workers:         kernel.Workers(),
+		SpeedupsLowered: map[string]float64{},
+		SpeedupsTiled:   map[string]float64{},
 	}
 	perOp := map[string]float64{}
 	fmt.Printf("Kernel microbenchmarks (workers=%d):\n", kernel.Workers())
-	for _, e := range entries {
-		prev := kernel.SetNaive(e.naive)
-		br := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				e.fn()
+	for _, w := range workloads {
+		for _, be := range kernelBenchBackends {
+			name := w.base + "_" + be.String()
+			prev := kernel.SetBackend(be)
+			br := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					w.fn()
+				}
+			})
+			kernel.SetBackend(prev)
+			ns := float64(br.NsPerOp())
+			perOp[name] = ns
+			rep.Results = append(rep.Results, kernelResult{Name: name, NsPerOp: ns, N: br.N})
+			fmt.Printf("  %-22s %12.0f ns/op  (%d iters)\n", name, ns, br.N)
+			if protoErr != nil {
+				return fmt.Errorf("2PC conv protocol failed during %s: %w", name, protoErr)
 			}
-		})
-		kernel.SetNaive(prev)
-		ns := float64(br.NsPerOp())
-		perOp[e.name] = ns
-		rep.Results = append(rep.Results, kernelResult{Name: e.name, NsPerOp: ns, N: br.N})
-		fmt.Printf("  %-18s %12.0f ns/op  (%d iters)\n", e.name, ns, br.N)
-		if protoErr != nil {
-			return fmt.Errorf("2PC conv protocol failed during %s: %w", e.name, protoErr)
 		}
 	}
-	for _, base := range []string{"conv_f64", "conv_ring", "conv_2pc"} {
-		if perOp[base+"_lowered"] > 0 {
-			rep.Speedups[base] = perOp[base+"_naive"] / perOp[base+"_lowered"]
+	fmt.Println("\nPer-workload speedups (lowered = tiled default):")
+	for _, w := range workloads {
+		if tiled := perOp[w.base+"_tiled"]; tiled > 0 {
+			rep.SpeedupsLowered[w.base] = perOp[w.base+"_naive"] / tiled
+			rep.SpeedupsTiled[w.base] = perOp[w.base+"_blocked"] / tiled
 		}
-	}
-	fmt.Println("\nLowered-over-naive speedups:")
-	for _, base := range []string{"conv_f64", "conv_ring", "conv_2pc"} {
-		fmt.Printf("  %-10s %.2fx\n", base, rep.Speedups[base])
+		fmt.Printf("  %-14s %6.2fx over naive, %6.2fx tiled over blocked\n",
+			w.base, rep.SpeedupsLowered[w.base], rep.SpeedupsTiled[w.base])
 	}
 
 	if jsonDir != "" {

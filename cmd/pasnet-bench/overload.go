@@ -74,11 +74,18 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
+// queueTargetMult scales the calibrated single-client base latency into
+// the admission mode's queue-time target (queue_target_ms = mult × base_ms
+// in BENCH_overload.json). 2× gives the queue room for one flush of
+// natural batching jitter while still shedding before the wait dominates
+// the service time; README's overload table quotes the same multiplier.
+const queueTargetMult = 2
+
 // overloadBench measures admission control under overload: a fixed
 // two-shard fleet is driven by growing closed-loop client counts, first
 // unbounded (every query admitted, every query waits) and then with a
-// queue-time target calibrated at ~3x the single-client base latency.
-// Per-query latency percentiles and the shed rate go to
+// queue-time target calibrated at queueTargetMult times the single-client
+// base latency. Per-query latency percentiles and the shed rate go to
 // BENCH_overload.json.
 func overloadBench(jsonDir string) error {
 	if err := checkBenchDir(jsonDir); err != nil {
@@ -100,7 +107,7 @@ func overloadBench(jsonDir string) error {
 		return fmt.Errorf("overload calibration: %w", err)
 	}
 	baseMS := percentile(base, 50)
-	target := time.Duration(2 * baseMS * float64(time.Millisecond))
+	target := time.Duration(queueTargetMult * baseMS * float64(time.Millisecond))
 
 	rep := overloadReport{
 		GeneratedUnix:    time.Now().Unix(),

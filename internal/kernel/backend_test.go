@@ -1,0 +1,234 @@
+package kernel
+
+import (
+	"runtime"
+	"testing"
+
+	"pasnet/internal/rng"
+)
+
+// TestBackendSwitchRoundTrip pins the interplay of the two knobs: SetBackend
+// round-trips through all three backends, and SetNaive(false) restores
+// whichever lowered backend was selected before the naive override.
+func TestBackendSwitchRoundTrip(t *testing.T) {
+	orig := SetBackend(BackendTiled)
+	defer SetBackend(orig)
+	if got := ActiveBackend(); got != BackendTiled {
+		t.Fatalf("ActiveBackend() = %v, want tiled", got)
+	}
+	if prev := SetBackend(BackendBlocked); prev != BackendTiled {
+		t.Fatalf("SetBackend returned %v, want tiled", prev)
+	}
+	if prev := SetBackend(BackendNaive); prev != BackendBlocked {
+		t.Fatalf("SetBackend returned %v, want blocked", prev)
+	}
+	if !Naive() {
+		t.Fatal("BackendNaive must force the naive override")
+	}
+	// Leaving the naive override restores the blocked selection.
+	SetNaive(false)
+	if got := ActiveBackend(); got != BackendBlocked {
+		t.Fatalf("after SetNaive(false): ActiveBackend() = %v, want blocked", got)
+	}
+	SetBackend(BackendTiled)
+	SetNaive(true)
+	SetNaive(false)
+	if got := ActiveBackend(); got != BackendTiled {
+		t.Fatalf("SetNaive round-trip lost the tiled selection: %v", got)
+	}
+	for _, b := range []Backend{BackendNaive, BackendBlocked, BackendTiled} {
+		if b.String() == "" {
+			t.Fatalf("backend %d has no name", b)
+		}
+	}
+}
+
+// gemmCase is one randomized geometry of the cross-backend suite; sizes
+// straddle the tileM/tileN panel boundaries (1×1 up to several panels).
+type gemmCase struct {
+	m, k, n int
+}
+
+func randGemmCases(r *rng.RNG, iters int) []gemmCase {
+	cases := []gemmCase{
+		{1, 1, 1},
+		{tileM, 1, tileN},
+		{tileM + 1, 2, tileN + 1},
+		{2*tileM - 1, 17, 2*tileN - 1},
+		{3 * tileM, 31, 3 * tileN},
+	}
+	for i := 0; i < iters; i++ {
+		cases = append(cases, gemmCase{1 + r.Intn(3*tileM+2), 1 + r.Intn(40), 1 + r.Intn(3*tileN+2)})
+	}
+	return cases
+}
+
+// runVariants evaluates all four GEMM variants on the active backend. The
+// transposed operands are materialized by the caller so every backend sees
+// identical inputs.
+func runVariants[T Elem](dst map[string][]T, a, b, at, bt, accInit []T, m, k, n int) {
+	MatMul(dst["matmul"], a, b, m, k, n)
+	MatMulTransA(dst["transA"], at, b, k, m, n)
+	MatMulTransB(dst["transB"], a, bt, m, k, n)
+	copy(dst["transBAcc"], accInit)
+	MatMulTransBAcc(dst["transBAcc"], a, bt, m, k, n)
+}
+
+func newVariantDst[T Elem](mn int) map[string][]T {
+	return map[string][]T{
+		"matmul":    make([]T, mn),
+		"transA":    make([]T, mn),
+		"transB":    make([]T, mn),
+		"transBAcc": make([]T, mn),
+	}
+}
+
+// TestGEMMVariantsCrossBackend is the naive ≡ blocked ≡ tiled equivalence
+// property: every GEMM variant, in both element domains, at worker counts
+// 1, 4 and NumCPU, over randomized panel-straddling geometries. Ring
+// results must agree exactly; float64 results must be bit-identical (==,
+// not tolerance) — the per-element accumulation runs in ascending-k order
+// on every backend, which is also what keeps results worker-count
+// independent and the two 2PC parties in lockstep.
+func TestGEMMVariantsCrossBackend(t *testing.T) {
+	origBackend := SetBackend(BackendTiled)
+	defer SetBackend(origBackend)
+	r := rng.New(46)
+	backends := []Backend{BackendNaive, BackendBlocked, BackendTiled}
+	for _, w := range []int{1, 4, runtime.NumCPU()} {
+		prevW := SetWorkers(w)
+		for _, c := range randGemmCases(r, 25) {
+			m, k, n := c.m, c.k, c.n
+
+			af := fillF64(r, m*k)
+			bf := fillF64(r, k*n)
+			atf := transposeF(af, m, k)
+			btf := transposeF(bf, k, n)
+			accF := fillF64(r, m*n)
+			au := fillU64(r, m*k)
+			bu := fillU64(r, k*n)
+			atu := transposeU(au, m, k)
+			btu := transposeU(bu, k, n)
+			accU := fillU64(r, m*n)
+
+			outF := map[Backend]map[string][]float64{}
+			outU := map[Backend]map[string][]uint64{}
+			for _, be := range backends {
+				SetBackend(be)
+				df := newVariantDst[float64](m * n)
+				runVariants(df, af, bf, atf, btf, accF, m, k, n)
+				outF[be] = df
+				du := newVariantDst[uint64](m * n)
+				runVariants(du, au, bu, atu, btu, accU, m, k, n)
+				outU[be] = du
+			}
+			for _, be := range backends[1:] {
+				for variant, want := range outF[BackendNaive] {
+					got := outF[be][variant]
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("workers=%d m=%d k=%d n=%d: float64 %s on %v not bit-identical at %d: %x vs %x",
+								w, m, k, n, variant, be, i, got[i], want[i])
+						}
+					}
+				}
+				for variant, want := range outU[BackendNaive] {
+					got := outU[be][variant]
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("workers=%d m=%d k=%d n=%d: ring %s on %v mismatch at %d: %d vs %d",
+								w, m, k, n, variant, be, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+		SetWorkers(prevW)
+	}
+}
+
+func transposeF(a []float64, rows, cols int) []float64 {
+	at := make([]float64, len(a))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			at[j*rows+i] = a[i*cols+j]
+		}
+	}
+	return at
+}
+
+func transposeU(a []uint64, rows, cols int) []uint64 {
+	at := make([]uint64, len(a))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			at[j*rows+i] = a[i*cols+j]
+		}
+	}
+	return at
+}
+
+// TestConvCrossBackend runs the conv forward and backward paths on all
+// three backends over the random geometry zoo: the im2col GEMM and the
+// gradient GEMM variants must agree exactly in the ring and bit-identically
+// in float64, at 1 worker and NumCPU.
+func TestConvCrossBackend(t *testing.T) {
+	origBackend := SetBackend(BackendTiled)
+	defer SetBackend(origBackend)
+	r := rng.New(47)
+	for _, w := range []int{1, runtime.NumCPU()} {
+		prevW := SetWorkers(w)
+		for _, s := range randShapes(r, 12) {
+			x := fillF64(r, s.InLen())
+			kf := fillF64(r, s.KLen())
+			gy := fillF64(r, s.OutLen())
+			xu := fillU64(r, s.InLen())
+			ku := fillU64(r, s.KLen())
+			gyu := fillU64(r, s.OutLen())
+
+			type convOut struct {
+				outF, dxF, dkF []float64
+				outU, dxU, dkU []uint64
+			}
+			run := func(be Backend) convOut {
+				SetBackend(be)
+				var o convOut
+				o.outF = make([]float64, s.OutLen())
+				Conv2D(o.outF, x, kf, s)
+				o.dxF = make([]float64, s.InLen())
+				o.dkF = make([]float64, s.KLen())
+				Conv2DGrads(o.dxF, o.dkF, x, kf, gy, s)
+				o.outU = make([]uint64, s.OutLen())
+				Conv2D(o.outU, xu, ku, s)
+				o.dxU = make([]uint64, s.InLen())
+				o.dkU = make([]uint64, s.KLen())
+				Conv2DGrads(o.dxU, o.dkU, xu, ku, gyu, s)
+				return o
+			}
+			want := run(BackendNaive)
+			for _, be := range []Backend{BackendBlocked, BackendTiled} {
+				got := run(be)
+				checkBitsF := func(name string, g, wv []float64) {
+					for i := range wv {
+						if g[i] != wv[i] {
+							t.Fatalf("workers=%d shape %+v: float64 %s on %v not bit-identical at %d", w, s, name, be, i)
+						}
+					}
+				}
+				checkU := func(name string, g, wv []uint64) {
+					for i := range wv {
+						if g[i] != wv[i] {
+							t.Fatalf("workers=%d shape %+v: ring %s on %v mismatch at %d", w, s, name, be, i)
+						}
+					}
+				}
+				checkBitsF("conv", got.outF, want.outF)
+				checkBitsF("dx", got.dxF, want.dxF)
+				checkBitsF("dk", got.dkF, want.dkF)
+				checkU("conv", got.outU, want.outU)
+				checkU("dx", got.dxU, want.dxU)
+				checkU("dk", got.dkU, want.dkU)
+			}
+		}
+		SetWorkers(prevW)
+	}
+}

@@ -44,7 +44,8 @@ func BenchmarkConvDepthwise(b *testing.B) {
 	}
 }
 
-// BenchmarkMatMul sweeps square GEMM sizes in the ring domain.
+// BenchmarkMatMul sweeps square GEMM sizes in the ring domain on the
+// active backend (run with PASNET_KERNEL_BACKEND to A/B backends).
 func BenchmarkMatMul(b *testing.B) {
 	for _, n := range []int{64, 128, 256} {
 		b.Run(fmt.Sprintf("ring-%d", n), func(b *testing.B) {
@@ -56,6 +57,40 @@ func BenchmarkMatMul(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				MatMul(dst, a, bb, n, n, n)
 			}
+		})
+	}
+}
+
+// BenchmarkMatMulBackends pins blocked vs tiled head to head on the
+// register-tiling headline shape in both element domains.
+func BenchmarkMatMulBackends(b *testing.B) {
+	const n = 256
+	for _, be := range []Backend{BackendBlocked, BackendTiled} {
+		b.Run("ring-"+be.String(), func(b *testing.B) {
+			r := rng.New(5)
+			a := fillU64(r, n*n)
+			bb := fillU64(r, n*n)
+			dst := make([]uint64, n*n)
+			prev := SetBackend(be)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(dst, a, bb, n, n, n)
+			}
+			b.StopTimer()
+			SetBackend(prev)
+		})
+		b.Run("f64-"+be.String(), func(b *testing.B) {
+			r := rng.New(6)
+			a := fillF64(r, n*n)
+			bb := fillF64(r, n*n)
+			dst := make([]float64, n*n)
+			prev := SetBackend(be)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(dst, a, bb, n, n, n)
+			}
+			b.StopTimer()
+			SetBackend(prev)
 		})
 	}
 }

@@ -35,14 +35,14 @@ func rowGrain(rowWork int) int {
 }
 
 // MatMul computes dst = a @ b for a (m×k) and b (k×n), parallelized over
-// dst rows. dst must not alias a or b.
+// dst rows and routed to the active backend. dst must not alias a or b.
 func MatMul[T Elem](dst, a, b []T, m, k, n int) {
 	if Naive() {
 		MatMulNaive(dst, a, b, m, k, n)
 		return
 	}
 	parallelFor(m, rowGrain(k*n), func(lo, hi int) {
-		gemmRows(dst, a, b, m, k, n, lo, hi)
+		loweredRows(dst, a, b, m, k, n, lo, hi)
 	})
 }
 
@@ -106,9 +106,16 @@ func gemmRows[T Elem](dst, a, b []T, m, k, n, lo, hi int) {
 }
 
 // MatMulTransB computes dst = a @ bᵀ for a (m×k) and b (n×k), parallelized
-// over dst rows. Both operands stream row-wise, so no extra blocking is
-// needed; under SetNaive it runs the same loop single-threaded.
+// over dst rows. Under the tiled backend it runs the packed microkernel;
+// the blocked backend streams both operands row-wise (no extra blocking
+// needed); under SetNaive it runs that same loop single-threaded.
 func MatMulTransB[T Elem](dst, a, b []T, m, k, n int) {
+	if transVariantTiled() {
+		parallelFor(m, rowGrain(k*n), func(lo, hi int) {
+			tiledTransBRows(dst, a, b, m, k, n, lo, hi, false)
+		})
+		return
+	}
 	maybeParallel(m, rowGrain(k*n), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a[i*k : (i+1)*k]
@@ -128,6 +135,12 @@ func MatMulTransB[T Elem](dst, a, b []T, m, k, n int) {
 // MatMulTransBAcc computes dst += a @ bᵀ, the accumulating variant used
 // for weight-gradient reduction across a batch.
 func MatMulTransBAcc[T Elem](dst, a, b []T, m, k, n int) {
+	if transVariantTiled() {
+		parallelFor(m, rowGrain(k*n), func(lo, hi int) {
+			tiledTransBRows(dst, a, b, m, k, n, lo, hi, true)
+		})
+		return
+	}
 	maybeParallel(m, rowGrain(k*n), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a[i*k : (i+1)*k]
@@ -144,9 +157,20 @@ func MatMulTransBAcc[T Elem](dst, a, b []T, m, k, n int) {
 	})
 }
 
+// transVariantTiled reports whether the transposed GEMM variants should
+// take the tiled path: the naive override keeps them on their serial
+// reference loops regardless of the lowered-backend selection.
+func transVariantTiled() bool { return !useNaive.Load() && useTiled.Load() }
+
 // MatMulTransA computes dst = aᵀ @ b for a (k×m) and b (k×n), parallelized
 // over dst rows (columns of a).
 func MatMulTransA[T Elem](dst, a, b []T, k, m, n int) {
+	if transVariantTiled() {
+		parallelFor(m, rowGrain(k*n), func(lo, hi int) {
+			tiledTransARows(dst, a, b, k, m, n, lo, hi)
+		})
+		return
+	}
 	maybeParallel(m, rowGrain(k*n), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			drow := dst[i*n : (i+1)*n]

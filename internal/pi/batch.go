@@ -263,17 +263,25 @@ type Session struct {
 // before traffic flows.
 func (s *Session) SetFlushDeadline(d time.Duration) { s.flushDeadline = d }
 
-// armDeadline starts (or extends) the current flush's receive deadline.
+// armDeadline starts (or extends) the current flush's receive and send
+// deadlines. The write deadline matters when the peer accepts the
+// connection but stops reading: backpressure eventually blocks this
+// party's sends (a full socket or pipe buffer), somewhere the read
+// deadline alone cannot reach — Exchange would report the receive timeout
+// yet stay wedged waiting for its send goroutine.
 func (s *Session) armDeadline() {
 	if s.flushDeadline > 0 {
-		_ = s.party.Conn.SetReadDeadline(time.Now().Add(s.flushDeadline))
+		dl := time.Now().Add(s.flushDeadline)
+		_ = s.party.Conn.SetReadDeadline(dl)
+		_ = s.party.Conn.SetWriteDeadline(dl)
 	}
 }
 
-// clearDeadline lifts the deadline for the idle wait between flushes.
+// clearDeadline lifts the deadlines for the idle wait between flushes.
 func (s *Session) clearDeadline() {
 	if s.flushDeadline > 0 {
 		_ = s.party.Conn.SetReadDeadline(time.Time{})
+		_ = s.party.Conn.SetWriteDeadline(time.Time{})
 	}
 }
 

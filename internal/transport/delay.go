@@ -133,6 +133,11 @@ func (c *delayConn) SetReadDeadline(t time.Time) error {
 	return c.inner.SetReadDeadline(t)
 }
 
+// SetWriteDeadline delegates to the inner conn: the delay model only
+// shapes delivery time, never send admission, so write deadlines behave
+// exactly as on the undecorated pipe.
+func (c *delayConn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
 func (c *delayConn) Stats() Stats { return c.inner.Stats() }
 
 func (c *delayConn) Close() error {

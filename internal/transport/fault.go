@@ -195,6 +195,10 @@ func (c *FaultConn) SetReadDeadline(t time.Time) error {
 	return c.inner.SetReadDeadline(t)
 }
 
+// SetWriteDeadline delegates to the inner conn; the fault plan only
+// schedules receive-path faults, so sends keep the inner semantics.
+func (c *FaultConn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
 func (c *FaultConn) Stats() Stats { return c.inner.Stats() }
 
 func (c *FaultConn) Close() error {

@@ -69,6 +69,14 @@ type Conn interface {
 	// stalled or half-dead peer poisons its pair instead of wedging a
 	// worker goroutine forever.
 	SetReadDeadline(t time.Time) error
+	// SetWriteDeadline bounds every subsequent send, with the same
+	// net.Conn semantics as SetReadDeadline. It closes the other half of
+	// the stalled-peer problem: a peer that accepts the connection but
+	// never reads eventually exerts backpressure (a full kernel socket
+	// buffer, or a full in-memory pipe), and without a write deadline the
+	// Exchange helpers wedge forever in their send goroutine even after
+	// the receive side has timed out.
+	SetWriteDeadline(t time.Time) error
 	// Stats returns cumulative traffic counters for this endpoint.
 	Stats() Stats
 	// Close releases the underlying resources.
@@ -193,14 +201,26 @@ func truncError(msg string) string {
 	return msg
 }
 
-// MemConn is one endpoint of an in-memory duplex pipe.
+// MemConn is one endpoint of an in-memory duplex pipe. The message channel
+// is never closed (a concurrent send on a closed channel would panic the
+// sender); shutdown is signalled out-of-band through per-endpoint close
+// channels instead, so Close racing an in-flight send is an error return,
+// not a crash.
 type MemConn struct {
 	send chan<- message
 	recv <-chan message
 	c    counter
 
-	dmu      sync.Mutex
-	deadline time.Time
+	// closed is this endpoint's own close signal (its send direction);
+	// peerClosed is the peer endpoint's, which turns receives into EOF
+	// once the buffer drains and fails sends nobody will ever read.
+	closed     chan struct{}
+	closeOnce  *sync.Once
+	peerClosed <-chan struct{}
+
+	dmu       sync.Mutex
+	deadline  time.Time
+	wdeadline time.Time
 }
 
 // Pipe returns the two connected endpoints of an in-memory transport.
@@ -209,8 +229,10 @@ type MemConn struct {
 func Pipe() (*MemConn, *MemConn) {
 	ab := make(chan message, 1024)
 	ba := make(chan message, 1024)
-	a := &MemConn{send: ab, recv: ba}
-	b := &MemConn{send: ba, recv: ab}
+	a := &MemConn{send: ab, recv: ba, closed: make(chan struct{}), closeOnce: new(sync.Once)}
+	b := &MemConn{send: ba, recv: ab, closed: make(chan struct{}), closeOnce: new(sync.Once)}
+	a.peerClosed = b.closed
+	b.peerClosed = a.closed
 	return a, b
 }
 
@@ -222,6 +244,26 @@ func (m *MemConn) SetReadDeadline(t time.Time) error {
 	return nil
 }
 
+// SetWriteDeadline implements Conn.
+func (m *MemConn) SetWriteDeadline(t time.Time) error {
+	m.dmu.Lock()
+	m.wdeadline = t
+	m.dmu.Unlock()
+	return nil
+}
+
+// recvEOF resolves a peer-close signal: frames the peer buffered before
+// closing are still delivered, then receives report EOF — matching the
+// drain-then-EOF behavior of a closed channel without ever closing one.
+func (m *MemConn) recvEOF() (message, error) {
+	select {
+	case msg := <-m.recv:
+		return msg, nil
+	default:
+		return message{}, io.EOF
+	}
+}
+
 // recvMsg takes the next frame off the pipe, honoring the read deadline
 // with net.Conn semantics: an expired deadline fails immediately (even if
 // a frame is already buffered), an armed one bounds the wait. All MemConn
@@ -231,11 +273,12 @@ func (m *MemConn) recvMsg() (message, error) {
 	dl := m.deadline
 	m.dmu.Unlock()
 	if dl.IsZero() {
-		msg, ok := <-m.recv
-		if !ok {
-			return message{}, io.EOF
+		select {
+		case msg := <-m.recv:
+			return msg, nil
+		case <-m.peerClosed:
+			return m.recvEOF()
 		}
-		return msg, nil
 	}
 	wait := time.Until(dl)
 	if wait <= 0 {
@@ -244,13 +287,68 @@ func (m *MemConn) recvMsg() (message, error) {
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
-	case msg, ok := <-m.recv:
-		if !ok {
-			return message{}, io.EOF
-		}
+	case msg := <-m.recv:
 		return msg, nil
+	case <-m.peerClosed:
+		return m.recvEOF()
 	case <-timer.C:
 		return message{}, fmt.Errorf("transport: read deadline exceeded: %w", os.ErrDeadlineExceeded)
+	}
+}
+
+// sendMsg enqueues a frame, honoring the write deadline and both close
+// signals. Sending after this endpoint's own Close fails with an error
+// satisfying errors.Is(err, io.ErrClosedPipe). A send with room in the
+// pipe still succeeds after the *peer* closed — close is
+// direction-oriented, like the socket shutdown it models, and the serving
+// loops' graceful teardown depends on it (one side sends its last frames
+// and closes; the other drains and sees EOF). Only a send already blocked
+// on a full pipe fails on peer close (no reader will ever free a slot) or
+// at the write deadline; the old implementation wedged such a sender
+// forever. The traffic counter only advances for delivered frames.
+func (m *MemConn) sendMsg(msg message, payloadBytes int) error {
+	select {
+	case <-m.closed:
+		return fmt.Errorf("transport: send on closed connection: %w", io.ErrClosedPipe)
+	default:
+	}
+	m.dmu.Lock()
+	dl := m.wdeadline
+	m.dmu.Unlock()
+	if !dl.IsZero() && time.Until(dl) <= 0 {
+		// net.Conn semantics: an already-expired deadline fails the send
+		// immediately, even if the pipe has room.
+		return fmt.Errorf("transport: write deadline exceeded: %w", os.ErrDeadlineExceeded)
+	}
+	select {
+	case m.send <- msg:
+		m.c.add(payloadBytes)
+		return nil
+	default:
+	}
+	if dl.IsZero() {
+		select {
+		case m.send <- msg:
+			m.c.add(payloadBytes)
+			return nil
+		case <-m.closed:
+			return fmt.Errorf("transport: send on closed connection: %w", io.ErrClosedPipe)
+		case <-m.peerClosed:
+			return fmt.Errorf("transport: send blocked on closed peer: %w", io.ErrClosedPipe)
+		}
+	}
+	timer := time.NewTimer(time.Until(dl))
+	defer timer.Stop()
+	select {
+	case m.send <- msg:
+		m.c.add(payloadBytes)
+		return nil
+	case <-m.closed:
+		return fmt.Errorf("transport: send on closed connection: %w", io.ErrClosedPipe)
+	case <-m.peerClosed:
+		return fmt.Errorf("transport: send blocked on closed peer: %w", io.ErrClosedPipe)
+	case <-timer.C:
+		return fmt.Errorf("transport: write deadline exceeded: %w", os.ErrDeadlineExceeded)
 	}
 }
 
@@ -258,9 +356,7 @@ func (m *MemConn) recvMsg() (message, error) {
 func (m *MemConn) SendUints(xs []uint32) error {
 	cp := make([]uint32, len(xs))
 	copy(cp, xs)
-	m.c.add(4 * len(xs))
-	m.send <- message{kind: 'u', u32: cp}
-	return nil
+	return m.sendMsg(message{kind: 'u', u32: cp}, 4*len(xs))
 }
 
 // RecvUints implements Conn.
@@ -279,9 +375,7 @@ func (m *MemConn) RecvUints() ([]uint32, error) {
 func (m *MemConn) SendUint64s(xs []uint64) error {
 	cp := make([]uint64, len(xs))
 	copy(cp, xs)
-	m.c.add(8 * len(xs))
-	m.send <- message{kind: 'U', u64: cp}
-	return nil
+	return m.sendMsg(message{kind: 'U', u64: cp}, 8*len(xs))
 }
 
 // RecvUint64s implements Conn.
@@ -313,9 +407,7 @@ func (m *MemConn) RecvUint64sMax(maxElems int) ([]uint64, error) {
 func (m *MemConn) SendBytes(b []byte) error {
 	cp := make([]byte, len(b))
 	copy(cp, b)
-	m.c.add(len(b))
-	m.send <- message{kind: 'b', raw: cp}
-	return nil
+	return m.sendMsg(message{kind: 'b', raw: cp}, len(b))
 }
 
 // RecvBytes implements Conn.
@@ -336,9 +428,7 @@ func (m *MemConn) SendShape(shape []int) error {
 	if err != nil {
 		return err
 	}
-	m.c.add(len(payload))
-	m.send <- message{kind: 's', raw: payload}
-	return nil
+	return m.sendMsg(message{kind: 's', raw: payload}, len(payload))
 }
 
 // RecvShape implements Conn.
@@ -359,9 +449,7 @@ func (m *MemConn) SendModelShape(model string, shape []int) error {
 	if err != nil {
 		return err
 	}
-	m.c.add(len(payload))
-	m.send <- message{kind: 'm', raw: payload}
-	return nil
+	return m.sendMsg(message{kind: 'm', raw: payload}, len(payload))
 }
 
 // RecvModelShape implements Conn.
@@ -379,9 +467,7 @@ func (m *MemConn) RecvModelShape() (string, []int, error) {
 // SendError implements Conn.
 func (m *MemConn) SendError(errMsg string) error {
 	payload := []byte(truncError(errMsg))
-	m.c.add(len(payload))
-	m.send <- message{kind: 'e', raw: payload}
-	return nil
+	return m.sendMsg(message{kind: 'e', raw: payload}, len(payload))
 }
 
 // RecvReply implements Conn.
@@ -406,10 +492,14 @@ func (m *MemConn) RecvReply(maxElems int) ([]uint64, string, error) {
 // Stats implements Conn.
 func (m *MemConn) Stats() Stats { return m.c.stats() }
 
-// Close implements Conn. Closing the send direction unblocks the peer.
+// Close implements Conn. Closing signals the peer (its receives drain any
+// buffered frames, then report EOF) and fails this endpoint's subsequent
+// sends with io.ErrClosedPipe — including sends already blocked on a full
+// pipe. Close is idempotent and safe against concurrent in-flight sends:
+// the frame channel itself is never closed, so there is no
+// send-on-closed-channel panic window.
 func (m *MemConn) Close() error {
-	defer func() { recover() }() // tolerate double close
-	close(m.send)
+	m.closeOnce.Do(func() { close(m.closed) })
 	return nil
 }
 
@@ -673,6 +763,12 @@ func (t *TCPConn) RecvReply(maxElems int) ([]uint64, string, error) {
 // connection; its timeout errors already satisfy
 // errors.Is(err, os.ErrDeadlineExceeded).
 func (t *TCPConn) SetReadDeadline(tm time.Time) error { return t.nc.SetReadDeadline(tm) }
+
+// SetWriteDeadline implements Conn by delegating to the network
+// connection. A send to a peer that has stopped reading blocks once the
+// kernel socket buffer fills; the deadline turns that stall into an
+// os.ErrDeadlineExceeded instead of a wedged goroutine.
+func (t *TCPConn) SetWriteDeadline(tm time.Time) error { return t.nc.SetWriteDeadline(tm) }
 
 // Stats implements Conn.
 func (t *TCPConn) Stats() Stats { return t.c.stats() }
