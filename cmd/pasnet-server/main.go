@@ -132,6 +132,10 @@ type config struct {
 	// statusJSON dumps the gateway's shard status (including admission
 	// counters) as JSON to this file on SIGUSR1 and at shutdown.
 	statusJSON string
+	// fixedMasks runs the fixed weight-mask protocol on every session and
+	// store: W−b opened once per (session, layer), flushes open only the
+	// activation side. All roles of a deployment must agree.
+	fixedMasks bool
 }
 
 func main() {
@@ -163,6 +167,7 @@ func main() {
 	flag.IntVar(&cfg.queueCap, "queue-cap", 0, "party 1: bound the batcher's pending queue, shedding submissions over it; gateway: per-shard-lane queue bound (0: unbounded / the lane default)")
 	flag.IntVar(&cfg.reprovision, "reprovision", 0, "gateway: background store re-provisioning — build and swap in the next store generation once a shard's remaining preprocessed budget drops below this many correlations; the vendor must run -lifecycle to accept the handoff links (0: off)")
 	flag.StringVar(&cfg.statusJSON, "status-json", "", "gateway: dump shard status (admission/shed/deadline counters included) as JSON to this file on SIGUSR1 and at shutdown (empty: off)")
+	flag.BoolVar(&cfg.fixedMasks, "fixedmasks", false, "all roles: fixed weight-mask protocol — open W−b once per session instead of per flush (preprocess, both computing parties and the gateway must agree)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pasnet-server:", err)
@@ -224,6 +229,7 @@ func buildRegistry(cfg config) (*gateway.Registry, error) {
 	}
 	d := buildDataset(cfg.seed)
 	reg := gateway.NewRegistry()
+	reg.SetFixedMasks(cfg.fixedMasks)
 	for _, name := range names {
 		m, err := buildModel(name, cfg.seed, d)
 		if err != nil {
@@ -318,7 +324,7 @@ func runPreprocess(cfg config) error {
 		for i, k := range batches {
 			shapes[i] = []int{k, 3, inputHW, inputHW}
 		}
-		paths, err = pi.WriteStores(prog, cfg.seed, shapes, cfg.flushes, cfg.store)
+		paths, err = pi.WriteStoresMode(prog, cfg.seed, shapes, cfg.flushes, cfg.store, cfg.fixedMasks)
 		if err != nil {
 			return err
 		}
@@ -367,7 +373,7 @@ func runVendor(cfg config) error {
 	defer conn.Close()
 	p := mpc.NewParty(0, conn, cfg.seed, cfg.seed*1000+1, fixed.Default64())
 	// Batch dimension 0 = any batch size; geometry is pinned.
-	sess, err := pi.NewSession(p, m, []int{0, 3, inputHW, inputHW})
+	sess, err := pi.NewSessionOpts(p, m, []int{0, 3, inputHW, inputHW}, pi.SessionOptions{FixedMasks: cfg.fixedMasks})
 	if err != nil {
 		return err
 	}
@@ -660,7 +666,7 @@ func runFrontend(cfg config) error {
 	}
 	defer conn.Close()
 	p := mpc.NewParty(1, conn, cfg.seed, cfg.seed*1000+2, fixed.Default64())
-	sess, err := pi.NewSession(p, m, nil)
+	sess, err := pi.NewSessionOpts(p, m, nil, pi.SessionOptions{FixedMasks: cfg.fixedMasks})
 	if err != nil {
 		return err
 	}

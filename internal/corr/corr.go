@@ -36,6 +36,13 @@ const (
 	KindConv
 	// KindBits is a batch of GMW AND triples over XOR-shared bits.
 	KindBits
+	// KindMatMulFixedB is a matmul pair (a, z = a@b) against a
+	// session-pinned fixed weight mask b (see mpc fixedmask.go). Only the
+	// activation mask a is fresh per demand; b is derived out-of-band from
+	// the dealer seed and the Demand's Mask slot.
+	KindMatMulFixedB
+	// KindConvFixedB is the convolution analogue of KindMatMulFixedB.
+	KindConvFixedB
 )
 
 // String names the kind for demand diagnostics.
@@ -51,6 +58,10 @@ func (k Kind) String() string {
 		return "conv"
 	case KindBits:
 		return "bits"
+	case KindMatMulFixedB:
+		return "matmul-fixedb"
+	case KindConvFixedB:
+		return "conv-fixedb"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -67,6 +78,8 @@ type Demand struct {
 	M, K, P int
 	// Conv is the convolution geometry for KindConv.
 	Conv mpc.ConvDims
+	// Mask is the fixed-mask slot id for the FixedB kinds (zero otherwise).
+	Mask int
 }
 
 // String renders the demand with its geometry, the vocabulary of store
@@ -75,10 +88,16 @@ func (d Demand) String() string {
 	switch d.Kind {
 	case KindMatMul:
 		return fmt.Sprintf("matmul(%dx%d @ %dx%d)", d.M, d.K, d.K, d.P)
+	case KindMatMulFixedB:
+		return fmt.Sprintf("matmul-fixedb(mask=%d, %dx%d @ %dx%d)", d.Mask, d.M, d.K, d.K, d.P)
 	case KindConv:
 		c := d.Conv
 		return fmt.Sprintf("conv(N=%d C=%d %dx%d, k=%dx%dx%d s=%d p=%d g=%d)",
 			c.N, c.InC, c.H, c.W, c.OutC, c.KH, c.KW, c.Stride, c.Pad, c.Groups)
+	case KindConvFixedB:
+		c := d.Conv
+		return fmt.Sprintf("conv-fixedb(mask=%d, N=%d C=%d %dx%d, k=%dx%dx%d s=%d p=%d g=%d)",
+			d.Mask, c.N, c.InC, c.H, c.W, c.OutC, c.KH, c.KW, c.Stride, c.Pad, c.Groups)
 	default:
 		return fmt.Sprintf("%s(n=%d)", d.Kind, d.N)
 	}
@@ -152,6 +171,18 @@ func (r *Recorder) TakeMatMul(m, k, p int) (a, b, z []uint64, err error) {
 func (r *Recorder) TakeConv(dims mpc.ConvDims) (a, b, z []uint64, err error) {
 	r.tape = append(r.tape, Demand{Kind: KindConv, Conv: dims})
 	return r.src.TakeConv(dims)
+}
+
+// TakeMatMulFixedB implements mpc.CorrelationSource.
+func (r *Recorder) TakeMatMulFixedB(mask, m, k, p int) (a, z []uint64, err error) {
+	r.tape = append(r.tape, Demand{Kind: KindMatMulFixedB, Mask: mask, M: m, K: k, P: p})
+	return r.src.TakeMatMulFixedB(mask, m, k, p)
+}
+
+// TakeConvFixedB implements mpc.CorrelationSource.
+func (r *Recorder) TakeConvFixedB(mask int, dims mpc.ConvDims) (a, z []uint64, err error) {
+	r.tape = append(r.tape, Demand{Kind: KindConvFixedB, Mask: mask, Conv: dims})
+	return r.src.TakeConvFixedB(mask, dims)
 }
 
 // TakeBits implements mpc.CorrelationSource.

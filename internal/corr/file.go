@@ -10,14 +10,15 @@ import (
 
 // On-disk store format (all integers little-endian):
 //
-//	magic   8 bytes  "PASCORR1"
+//	magic   8 bytes  "PASCORR2"
 //	body:
 //	  party   uint8
 //	  label   uint32                      preprocess-run stamp (see Label)
 //	  count   uint32                      demand tape length
 //	  per entry:
 //	    kind  uint8
-//	    dims  kind-dependent uint32s      (n) | (m,k,p) | 10 conv fields
+//	    dims  kind-dependent uint32s      (n) | (m,k,p) | 10 conv fields |
+//	                                      (mask,m,k,p) | mask + 10 conv
 //	    payload                           uint64 words or raw bit bytes,
 //	                                      lengths derived from the dims
 //	trailer  uint32  CRC-32 (IEEE) of the body
@@ -26,9 +27,19 @@ import (
 // load time instead of desyncing the two parties mid-protocol; the dims
 // are validated against the same caps as the generator before any payload
 // allocation, so a hostile file cannot demand a pathological allocation.
+//
+// Version history: "PASCORR1" lacked the fixed weight-mask kinds
+// (KindMatMulFixedB / KindConvFixedB) and their mask-slot dim. The magic
+// is the version gate — any "PASCORR"-prefixed file of another version is
+// rejected with a regeneration hint rather than misparsed, in either
+// direction (old binary × new store, new binary × old store).
 
-// storeMagic identifies a serialized correlation store, version 1.
-const storeMagic = "PASCORR1"
+// storeMagic identifies a serialized correlation store at this binary's
+// format version.
+const storeMagic = "PASCORR2"
+
+// storeMagicPrefix identifies any version of the store format.
+const storeMagicPrefix = "PASCORR"
 
 // Encode serializes the store (including its consumed entries; a decoded
 // store always starts with its cursor rewound to the beginning).
@@ -43,8 +54,12 @@ func (s *Store) Encode() []byte {
 			size += 1 + 4 + 8*(la+lz)
 		case KindMatMul:
 			size += 1 + 12 + 8*(la+lb+lz)
+		case KindMatMulFixedB:
+			size += 1 + 16 + 8*(la+lz)
 		case KindConv:
 			size += 1 + 40 + 8*(la+lb+lz)
+		case KindConvFixedB:
+			size += 1 + 44 + 8*(la+lz)
 		default: // hadamard
 			size += 1 + 4 + 8*(la+lb+lz)
 		}
@@ -63,7 +78,15 @@ func (s *Store) Encode() []byte {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(d.M))
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(d.K))
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(d.P))
-		case KindConv:
+		case KindMatMulFixedB:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(d.Mask))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(d.M))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(d.K))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(d.P))
+		case KindConv, KindConvFixedB:
+			if d.Kind == KindConvFixedB {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(d.Mask))
+			}
 			c := d.Conv
 			for _, v := range []int{c.N, c.InC, c.H, c.W, c.OutC, c.KH, c.KW, c.Stride, c.Pad, c.Groups} {
 				buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
@@ -92,6 +115,10 @@ func Decode(data []byte) (*Store, error) {
 		return nil, fmt.Errorf("corr: store file truncated: %d bytes is shorter than the fixed header", len(data))
 	}
 	if string(data[:len(storeMagic)]) != storeMagic {
+		if string(data[:len(storeMagicPrefix)]) == storeMagicPrefix {
+			return nil, fmt.Errorf("corr: store file is format version %q but this binary reads %q — regenerate the store with this binary's preprocess step (the format changed with the fixed weight-mask correlation kinds)",
+				string(data[:len(storeMagic)]), storeMagic)
+		}
 		return nil, fmt.Errorf("corr: not a correlation store file (bad magic)")
 	}
 	body := data[len(storeMagic) : len(data)-4]
@@ -127,7 +154,13 @@ func Decode(data []byte) (*Store, error) {
 		switch d.Kind {
 		case KindMatMul:
 			d.M, d.K, d.P = int(r.u32()), int(r.u32()), int(r.u32())
-		case KindConv:
+		case KindMatMulFixedB:
+			d.Mask = int(r.u32())
+			d.M, d.K, d.P = int(r.u32()), int(r.u32()), int(r.u32())
+		case KindConv, KindConvFixedB:
+			if d.Kind == KindConvFixedB {
+				d.Mask = int(r.u32())
+			}
 			c := &d.Conv
 			for _, f := range []*int{&c.N, &c.InC, &c.H, &c.W, &c.OutC, &c.KH, &c.KW, &c.Stride, &c.Pad, &c.Groups} {
 				*f = int(r.u32())

@@ -73,10 +73,27 @@ func (d Demand) lens() (la, lb, lz int) {
 		return d.N, 0, d.N
 	case KindMatMul:
 		return d.M * d.K, d.K * d.P, d.M * d.P
+	case KindMatMulFixedB:
+		return d.M * d.K, 0, d.M * d.P
 	case KindConv:
 		return d.Conv.InLen(), d.Conv.KLen(), d.Conv.OutLen()
+	case KindConvFixedB:
+		return d.Conv.InLen(), 0, d.Conv.OutLen()
 	default:
 		return 0, 0, 0
+	}
+}
+
+// fixedMaskLen returns the plain fixed-mask length of a FixedB demand
+// (the weight-side element count b never stored in the entry).
+func (d Demand) fixedMaskLen() int {
+	switch d.Kind {
+	case KindMatMulFixedB:
+		return d.K * d.P
+	case KindConvFixedB:
+		return d.Conv.KLen()
+	default:
+		return 0
 	}
 }
 
@@ -92,12 +109,12 @@ func (d Demand) validate() error {
 		if d.N < 1 || d.N > maxEntryWords {
 			return fmt.Errorf("element count %d out of range", d.N)
 		}
-	case KindMatMul:
+	case KindMatMul, KindMatMulFixedB:
 		if d.M < 1 || d.K < 1 || d.P < 1 ||
 			d.M > maxEntryWords/d.K || d.K > maxEntryWords/d.P || d.M > maxEntryWords/d.P {
 			return fmt.Errorf("matmul dims %dx%dx%d out of range", d.M, d.K, d.P)
 		}
-	case KindConv:
+	case KindConv, KindConvFixedB:
 		c := d.Conv
 		if c.N < 1 || c.InC < 1 || c.H < 1 || c.W < 1 || c.OutC < 1 ||
 			c.KH < 1 || c.KW < 1 || c.Stride < 1 || c.Pad < 0 || c.Groups < 0 {
@@ -127,6 +144,23 @@ func (d Demand) validate() error {
 		}
 	default:
 		return fmt.Errorf("unknown correlation kind %d", uint8(d.Kind))
+	}
+	return d.validateMask()
+}
+
+// validateMask bounds the fixed-mask slot of FixedB demands and insists
+// the non-fixed kinds carry none (a nonzero Mask on a plain triple means
+// a miswritten or corrupted tape).
+func (d Demand) validateMask() error {
+	switch d.Kind {
+	case KindMatMulFixedB, KindConvFixedB:
+		if d.Mask < 0 || d.Mask > mpc.MaxFixedMask {
+			return fmt.Errorf("fixed mask slot %d out of range [0, %d]", d.Mask, mpc.MaxFixedMask)
+		}
+	default:
+		if d.Mask != 0 {
+			return fmt.Errorf("%s demand carries fixed mask slot %d", d.Kind, d.Mask)
+		}
 	}
 	return nil
 }
@@ -163,11 +197,18 @@ type deferredZ struct {
 // The heavy triple products (ring convolutions, matrix multiplies) run in
 // a parallel second pass sized from the kernel worker pool; only party 1's
 // halves need them, so party 0's build is almost pure RNG.
-func Build(tape Tape, party int, r *rng.RNG) (*Store, error) {
+//
+// maskSeed is the *pair's* dealer seed, which may differ from r's stream:
+// fixed weight masks (the FixedB kinds) are derived out-of-band from the
+// dealer seed, not from the main stream, so a store provisioned off a
+// per-geometry stream still replays z = a@b against the same b the
+// session's live dealer minted and opened F = W−b with at setup. Tapes
+// without FixedB demands never touch maskSeed.
+func Build(tape Tape, party int, r *rng.RNG, maskSeed uint64) (*Store, error) {
 	if party != 0 && party != 1 {
 		return nil, fmt.Errorf("corr: party must be 0 or 1, got %d", party)
 	}
-	s0, s1, err := build(tape, r, party == 0, party == 1)
+	s0, s1, err := build(tape, r, maskSeed, party == 0, party == 1)
 	if err != nil {
 		return nil, err
 	}
@@ -178,16 +219,18 @@ func Build(tape Tape, party int, r *rng.RNG) (*Store, error) {
 }
 
 // BuildSeeded is Build starting a fresh dealer stream from seed, matching
-// mpc.NewDealer(seed, party).
+// mpc.NewDealer(seed, party). The stream seed doubles as the mask seed,
+// exactly as it does for a live dealer.
 func BuildSeeded(tape Tape, party int, seed uint64) (*Store, error) {
-	return Build(tape, party, rng.New(seed))
+	return Build(tape, party, rng.New(seed), seed)
 }
 
 // BuildPair generates both parties' stores in one pass over a shared
 // dealer stream (the in-process deployment shape, where one preprocessor
-// provisions both endpoints).
-func BuildPair(tape Tape, r *rng.RNG) (p0, p1 *Store, err error) {
-	return build(tape, r, true, true)
+// provisions both endpoints). maskSeed is the pair's dealer seed (see
+// Build).
+func BuildPair(tape Tape, r *rng.RNG, maskSeed uint64) (p0, p1 *Store, err error) {
+	return build(tape, r, maskSeed, true, true)
 }
 
 // build is the shared generator. The sequential pass replays the dealer's
@@ -195,7 +238,7 @@ func BuildPair(tape Tape, r *rng.RNG) (p0, p1 *Store, err error) {
 // and materializes every half that is cheap (party 0's halves are masks;
 // party 1's a/b halves are one subtraction). Party 1's z halves need the
 // actual triple product, which is deferred and computed in parallel.
-func build(tape Tape, r *rng.RNG, want0, want1 bool) (*Store, *Store, error) {
+func build(tape Tape, r *rng.RNG, maskSeed uint64, want0, want1 bool) (*Store, *Store, error) {
 	var s0, s1 *Store
 	if want0 {
 		s0 = &Store{party: 0, tape: append(Tape(nil), tape...), entries: make([]entry, len(tape))}
@@ -203,6 +246,9 @@ func build(tape Tape, r *rng.RNG, want0, want1 bool) (*Store, *Store, error) {
 	if want1 {
 		s1 = &Store{party: 1, tape: append(Tape(nil), tape...), entries: make([]entry, len(tape))}
 	}
+	// fixedPlains caches the derived plain b per mask slot, pinned to the
+	// length it was first derived at (mirroring the Dealer's slot cache).
+	var fixedPlains map[int][]uint64
 	var defs []deferredZ
 	for i, d := range tape {
 		if err := d.validate(); err != nil {
@@ -248,6 +294,36 @@ func build(tape Tape, r *rng.RNG, want0, want1 bool) (*Store, *Store, error) {
 				e := &s1.entries[i]
 				e.a = subWords(plainA, maskA)
 				defs = append(defs, deferredZ{idx: i, plainA: plainA, plainB: plainA, maskZ: maskZ})
+			}
+		case KindMatMulFixedB, KindConvFixedB:
+			// Dealer order: fill(a), pick(a), pick(z). b never touches the
+			// main stream — it is derived from (maskSeed, slot, length), the
+			// same function the live dealer and Party.OpenFixedW use, so a
+			// store-fed flush multiplies against exactly the b behind the
+			// session's opened F = W−b.
+			lbFix := d.fixedMaskLen()
+			plainB, ok := fixedPlains[d.Mask]
+			if !ok {
+				plainB = mpc.FixedMaskPlain(maskSeed, d.Mask, lbFix)
+				if fixedPlains == nil {
+					fixedPlains = make(map[int][]uint64)
+				}
+				fixedPlains[d.Mask] = plainB
+			} else if len(plainB) != lbFix {
+				return nil, nil, fmt.Errorf("corr: tape entry %d: fixed mask slot %d pinned to length %d, demand %s needs %d (one slot, one session-constant tensor)",
+					i, d.Mask, len(plainB), d, lbFix)
+			}
+			plainA := drawWords(r, la)
+			maskA := drawWords(r, la)
+			maskZ := drawWords(r, lz)
+			if want0 {
+				e := &s0.entries[i]
+				e.a, e.z = maskA, maskZ
+			}
+			if want1 {
+				e := &s1.entries[i]
+				e.a = subWords(plainA, maskA)
+				defs = append(defs, deferredZ{idx: i, plainA: plainA, plainB: plainB, maskZ: maskZ})
 			}
 		default: // hadamard, matmul, conv: full (a, b, z) triples
 			plainA := drawWords(r, la)
@@ -305,9 +381,9 @@ func computeDeferred(tape Tape, s1 *Store, defs []deferredZ) {
 				switch d.Kind {
 				case KindHadamard, KindSquare:
 					kernel.Mul(z, df.plainA, df.plainB)
-				case KindMatMul:
+				case KindMatMul, KindMatMulFixedB:
 					kernel.MatMul(z, df.plainA, df.plainB, d.M, d.K, d.P)
-				case KindConv:
+				case KindConv, KindConvFixedB:
 					kernel.Conv2D(z, df.plainA, df.plainB, convShape(d.Conv))
 				}
 				kernel.Sub(z, z, df.maskZ) // party 1's half: plainZ − maskZ
@@ -409,6 +485,24 @@ func (s *Store) TakeConv(dims mpc.ConvDims) (a, b, z []uint64, err error) {
 		return nil, nil, nil, err
 	}
 	return e.a, e.b, e.z, nil
+}
+
+// TakeMatMulFixedB implements mpc.CorrelationSource.
+func (s *Store) TakeMatMulFixedB(mask, m, k, p int) (a, z []uint64, err error) {
+	e, err := s.next(Demand{Kind: KindMatMulFixedB, Mask: mask, M: m, K: k, P: p})
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.a, e.z, nil
+}
+
+// TakeConvFixedB implements mpc.CorrelationSource.
+func (s *Store) TakeConvFixedB(mask int, dims mpc.ConvDims) (a, z []uint64, err error) {
+	e, err := s.next(Demand{Kind: KindConvFixedB, Mask: mask, Conv: dims})
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.a, e.z, nil
 }
 
 // TakeBits implements mpc.CorrelationSource.

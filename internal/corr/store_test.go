@@ -128,7 +128,7 @@ func TestStoreMatchesLiveDealerStream(t *testing.T) {
 // parties' halves off a single stream, identical to two per-party builds.
 func TestBuildPairSharesOneStream(t *testing.T) {
 	tape := testTape()
-	s0, s1, err := BuildPair(tape, rng.New(77))
+	s0, s1, err := BuildPair(tape, rng.New(77), 77)
 	if err != nil {
 		t.Fatal(err)
 	}

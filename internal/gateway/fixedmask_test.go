@@ -1,0 +1,273 @@
+package gateway
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pasnet/internal/corr"
+	"pasnet/internal/fixed"
+	"pasnet/internal/mpc"
+	"pasnet/internal/pi"
+	"pasnet/internal/rng"
+	"pasnet/internal/sched"
+	"pasnet/internal/tensor"
+	"pasnet/internal/transport"
+)
+
+// This file extends the routing-equivalence suite to the fixed weight-mask
+// protocol: a registry switched to SetFixedMasks(true) must provision
+// fixed-format stores, route queries bit-identically to a direct
+// fixed-mask shard pair, and revive exhausted shards onto fresh-generation
+// masks — the session-lifetime mask cache must never leak across the
+// routing or lifecycle layers.
+
+// directShardRunFixed is directShardRun for a fixed-mask registry: the
+// session pair is built with SessionOptions{FixedMasks: true}, exactly as
+// the router and vendor build theirs when the registry mode is on.
+func directShardRunFixed(t *testing.T, spec *ModelSpec, desc ShardDesc, queries []*tensor.Tensor) [][]float64 {
+	t.Helper()
+	c0, c1 := transport.Pipe()
+	codec := fixed.Default64()
+	var wg sync.WaitGroup
+	var serveErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p0 := mpc.NewParty(0, c0, desc.Seed, shardPrivSeed(desc.Seed, 0), codec)
+		sess, err := pi.NewSessionOpts(p0, spec.Model, append([]int{0}, spec.Input...), pi.SessionOptions{FixedMasks: true})
+		if err != nil {
+			serveErr = err
+			return
+		}
+		if desc.StoreDir != "" {
+			sess.UsePreprocessed(pi.NewDirProvider(desc.StoreDir))
+		}
+		serveErr = sess.Serve()
+	}()
+	p1 := mpc.NewParty(1, c1, desc.Seed, shardPrivSeed(desc.Seed, 1), codec)
+	sess, err := pi.NewSessionOpts(p1, spec.Model, nil, pi.SessionOptions{FixedMasks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.StoreDir != "" {
+		sess.UsePreprocessed(pi.NewDirProvider(desc.StoreDir))
+	}
+	out := make([][]float64, len(queries))
+	for i, q := range queries {
+		if out[i], err = sess.Query(q); err != nil {
+			t.Fatalf("direct fixed shard run flush %d: %v", i, err)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatalf("direct fixed shard run serve side: %v", serveErr)
+	}
+	return out
+}
+
+// TestFixedMaskRoutingEquivalence runs the gateway headline property under
+// the fixed weight-mask mode, live and store-fed: routed queries are
+// bit-identical to a direct fixed-mask single-pair run of the same shard
+// provisioning, match plaintext within the fixed-point bound, and on the
+// store-fed path the budget telemetry proves the fixed-format stores were
+// actually consumed (not silently fallen back to the dealer).
+func TestFixedMaskRoutingEquivalence(t *testing.T) {
+	const bound = 0.05
+	for _, storeFed := range []bool{false, true} {
+		name := "live"
+		if storeFed {
+			name = "store-fed"
+		}
+		t.Run(name, func(t *testing.T) {
+			storeRoot := ""
+			if storeFed {
+				storeRoot = t.TempDir()
+			}
+			m, input := testModel("m", 2, 8, 3, 101)
+			reg := NewRegistry()
+			if err := reg.Register(&ModelSpec{ID: "m", Model: m, Input: input, Shards: Shards("m", 2, 77, storeRoot)}); err != nil {
+				t.Fatal(err)
+			}
+			// Mode first, stores second: WriteShardStores traces the
+			// fixed-kind tape only when the registry is already switched.
+			reg.SetFixedMasks(true)
+			if storeFed {
+				// Covers the routed run plus the direct re-run of each
+				// shard's flush sequence off a fresh provider.
+				if _, err := WriteShardStores(reg, []int{1}, 4); err != nil {
+					t.Fatal(err)
+				}
+			}
+			lb := NewLoopback(reg)
+			rt, err := NewRouter(reg, RouterOptions{Batch: 1, Dial: lb.Dial})
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, _ := reg.Lookup("m")
+			r := rng.New(906)
+			const total = 4
+			var queries []*tensor.Tensor
+			var routed [][]float64
+			for q := 0; q < total; q++ {
+				x := tensor.New(1, input[0], input[1], input[2]).RandNorm(r, 0.5)
+				queries = append(queries, x)
+				logits, err := rt.Submit("m", x)
+				if err != nil {
+					t.Fatalf("query %d: %v", q, err)
+				}
+				routed = append(routed, logits)
+			}
+			for _, st := range rt.Status() {
+				if st.Down != "" || st.Flushes != 2 {
+					t.Fatalf("shard status %+v, want 2 flushes, up", st)
+				}
+				if storeFed {
+					if st.Budget <= 0 {
+						t.Fatalf("store-fed fixed shard %d budget %d, want positive stamp: the fixed-format store was not consumed", st.Shard, st.Budget)
+					}
+					if st.Fallbacks != 0 {
+						t.Fatalf("store-fed fixed shard %d took %d dealer fallbacks", st.Shard, st.Fallbacks)
+					}
+				}
+			}
+			if err := rt.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := lb.Wait(); err != nil {
+				t.Fatalf("vendor side: %v", err)
+			}
+			// Plaintext within the fixed-point bound.
+			for q, x := range queries {
+				plain := spec.Model.Net.Forward(x, false).Data
+				if d := maxAbsDiff(routed[q], plain); d > bound {
+					t.Fatalf("query %d: routed fixed-mask vs plaintext diff %v", q, d)
+				}
+			}
+			// Bit-identical to a direct fixed-mask single-pair run per
+			// shard: batch=1 round-robin lands query q on shard q%2.
+			for s := 0; s < 2; s++ {
+				var sub []*tensor.Tensor
+				var want [][]float64
+				for q := s; q < total; q += 2 {
+					sub = append(sub, queries[q])
+					want = append(want, routed[q])
+				}
+				direct := directShardRunFixed(t, spec, spec.Shards[s], sub)
+				for f := range direct {
+					for i := range direct[f] {
+						if direct[f][i] != want[f][i] {
+							t.Fatalf("shard %d flush %d: routed fixed-mask logit %d diverged from direct run: %v vs %v",
+								s, f, i, want[f][i], direct[f][i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFixedMaskRevivalMintsFreshMasks is the mask-lifetime property at the
+// gateway level: when a fixed-mask shard exhausts its store and the
+// lifecycle revives it at generation 1, the revived pair re-opens W−b
+// against the fresh generation's masks (ReviveSeed) and serves store-fed
+// from a freshly provisioned fixed-format store — the generation-0 mask
+// material never outlives its dealer stream.
+func TestFixedMaskRevivalMintsFreshMasks(t *testing.T) {
+	storeRoot := t.TempDir()
+	m, input := testModel("m", 2, 8, 3, 101)
+	reg := NewRegistry()
+	if err := reg.Register(&ModelSpec{ID: "m", Model: m, Input: input, Shards: Shards("m", 1, 77, storeRoot)}); err != nil {
+		t.Fatal(err)
+	}
+	reg.SetFixedMasks(true)
+	// Budget: exactly two N=1 flushes before exhaustion.
+	if _, err := WriteShardStores(reg, []int{1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback(reg)
+	rt, err := NewRouter(reg, RouterOptions{
+		Batch:     1,
+		Dial:      lb.Dial,
+		Lifecycle: &sched.LifecycleOptions{InitialBackoff: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := reg.Lookup("m")
+	r := rng.New(5)
+	q := func() *tensor.Tensor { return tensor.New(1, 2, 8, 8).RandNorm(r, 0.5) }
+	for i := 0; i < 2; i++ {
+		x := q()
+		logits, err := rt.Submit("m", x)
+		if err != nil {
+			t.Fatalf("budgeted query %d: %v", i, err)
+		}
+		if d := maxAbsDiff(logits, spec.Model.Net.Forward(x, false).Data); d > 0.05 {
+			t.Fatalf("budgeted query %d diff %v", i, d)
+		}
+	}
+	// The third query exhausts the store and kills the only pair; the
+	// lifecycle then revives it at generation 1 in the background.
+	if _, err := rt.Submit("m", q()); err == nil {
+		t.Fatal("query past the budget must fail all-down")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := rt.Status()[0]
+		if st.Down == "" && st.Gen == 1 && st.Revived == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fixed-mask shard never revived: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The revived pair serves correct fixed-mask logits off the fresh
+	// generation-1 store: budget stamped, no dealer fallback — both
+	// parties opened the SAME fresh F = W−b, or the combine would have
+	// produced garbage logits here.
+	x := q()
+	logits, err := rt.Submit("m", x)
+	if err != nil {
+		t.Fatalf("post-revival query: %v", err)
+	}
+	if d := maxAbsDiff(logits, spec.Model.Net.Forward(x, false).Data); d > 0.05 {
+		t.Fatalf("post-revival fixed-mask query diff %v", d)
+	}
+	st := rt.Status()[0]
+	if st.Budget <= 0 {
+		t.Fatalf("revived fixed-mask shard must serve from a fresh store (budget stamped), got %+v", st)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("revived fixed-mask shard took %d dealer fallbacks", st.Fallbacks)
+	}
+	// The fresh pair's store carries a new stream label: generation-1
+	// (a, a@b) products were built against generation-1 masks, never the
+	// dead stream's.
+	shape := []int{1, 2, 8, 8}
+	orig, err := corr.ReadFile(filepath.Join(spec.Shards[0].StoreDir, corr.FileName(0, shape)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := corr.ReadFile(filepath.Join(GenStoreDir(spec.Shards[0], 1), corr.FileName(0, shape)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Label() == fresh.Label() {
+		t.Fatal("revived fixed-mask store must carry a fresh stream label")
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The original pair's vendor side died on the exhausted fixed store,
+	// naming the fixed correlation kind.
+	if err := lb.Wait(); err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("vendor side must surface the exhaustion, got: %v", err)
+	}
+}

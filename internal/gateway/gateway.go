@@ -157,6 +157,11 @@ type Registry struct {
 	// unbounded. The gateway side configures its own sessions through
 	// RouterOptions.FlushDeadline.
 	flushDeadline time.Duration
+	// fixedMasks runs every shard session — and every store provisioned
+	// for one — under the fixed weight-mask protocol. Registry-wide and
+	// set before provisioning/serving: tapes, stores and the sessions on
+	// both sides of every pair must agree on the mode.
+	fixedMasks bool
 }
 
 // ProvisionPolicy records how shard stores are provisioned: which flush
@@ -222,6 +227,23 @@ func (r *Registry) FlushDeadline() time.Duration {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.flushDeadline
+}
+
+// SetFixedMasks selects the fixed weight-mask protocol for every shard
+// session and store of this registry (see pi.SessionOptions.FixedMasks).
+// Set it before provisioning or serving; both processes of a deployment
+// must configure the same mode.
+func (r *Registry) SetFixedMasks(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fixedMasks = on
+}
+
+// FixedMasks reports the registry's weight-mask mode.
+func (r *Registry) FixedMasks() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.fixedMasks
 }
 
 // claimShard reserves one (model, shard) pair at a lifecycle generation
@@ -445,11 +467,12 @@ func WriteShardStores(reg *Registry, batches []int, flushes int) ([]string, erro
 				return nil, fmt.Errorf("gateway: shard store dir: %w", err)
 			}
 			for i, shape := range shapes {
-				// The stream seed mixes the shard's own dealer seed, so
-				// each pair's stores — and their cross-checked run labels —
-				// are unique to the shard: stores from different shards or
-				// preprocess runs can never be mixed silently.
-				ps, err := pi.WriteStorePair(tapes[i], pi.StoreSeed(desc.Seed, shape), shape, flushes, desc.StoreDir)
+				// The pair seed is the shard's own dealer seed, so each
+				// pair's stores — their per-geometry streams, fixed weight
+				// masks and cross-checked run labels — are unique to the
+				// shard: stores from different shards or preprocess runs
+				// can never be mixed silently.
+				ps, err := pi.WriteStorePair(tapes[i], desc.Seed, shape, flushes, desc.StoreDir)
 				if err != nil {
 					return nil, fmt.Errorf("gateway: model %q shard %d: %w", id, desc.Shard, err)
 				}
@@ -464,11 +487,13 @@ func WriteShardStores(reg *Registry, batches []int, flushes int) ([]string, erro
 }
 
 // tapeFor returns the demand tape of one (model, geometry), tracing it at
-// most once per registry: the tape depends only on program and shape,
-// never on any shard's randomness, so provisioning and every later
-// revival share it.
+// most once per registry: the tape depends only on program, shape and the
+// registry's weight-mask mode (part of the cache key, in case the mode is
+// toggled between provisioning runs), never on any shard's randomness, so
+// provisioning and every later revival share it.
 func (r *Registry) tapeFor(spec *ModelSpec, shape []int) (corr.Tape, error) {
-	key := fmt.Sprintf("%s %v", spec.ID, shape)
+	fixed := r.FixedMasks()
+	key := fmt.Sprintf("%s %v fixed=%v", spec.ID, shape, fixed)
 	r.mu.Lock()
 	tape, ok := r.tapes[key]
 	prog := r.progs[spec.ID]
@@ -485,7 +510,7 @@ func (r *Registry) tapeFor(spec *ModelSpec, shape []int) (corr.Tape, error) {
 		r.progs[spec.ID] = prog
 		r.mu.Unlock()
 	}
-	tape, err := pi.TraceTape(prog, shape)
+	tape, err := pi.TraceTapeMode(prog, shape, fixed)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: model %q geometry %v: %w", spec.ID, shape, err)
 	}
@@ -538,7 +563,10 @@ func ReprovisionShardStore(reg *Registry, model string, shard, gen int) ([]strin
 		if err != nil {
 			return nil, err
 		}
-		ps, err := pi.WriteStorePair(tape, pi.StoreSeed(seed, shape), shape, policy.Flushes, dir)
+		// The revived generation's fresh pair seed also mints fresh fixed
+		// weight masks: gen N+1's session opens a new F = W−b and its
+		// stores replay against that new b, never gen N's.
+		ps, err := pi.WriteStorePair(tape, seed, shape, policy.Flushes, dir)
 		if err != nil {
 			return nil, fmt.Errorf("gateway: re-provision model %q shard %d gen %d: %w", model, shard, gen, err)
 		}

@@ -265,7 +265,7 @@ func (rt *Router) connectShard(spec *ModelSpec, desc ShardDesc, gen int, handoff
 		}
 	}
 	p := mpc.NewParty(1, conn, seed, shardPrivSeed(seed, 1), fixed.Default64())
-	sess, err := pi.NewSession(p, spec.Model, nil)
+	sess, err := pi.NewSessionOpts(p, spec.Model, nil, pi.SessionOptions{FixedMasks: rt.reg.FixedMasks()})
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("gateway: model %q shard %d session: %w", desc.Model, desc.Shard, err)

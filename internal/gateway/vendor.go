@@ -105,7 +105,7 @@ func ServeShardConn(conn transport.Conn, reg *Registry) error {
 	seed := ReviveSeed(desc.Seed, gen)
 	p := mpc.NewParty(0, conn, seed, shardPrivSeed(seed, 0), fixed.Default64())
 	expect := append([]int{0}, spec.Input...)
-	sess, err := pi.NewSession(p, spec.Model, expect)
+	sess, err := pi.NewSessionOpts(p, spec.Model, expect, pi.SessionOptions{FixedMasks: reg.FixedMasks()})
 	if err != nil {
 		return fmt.Errorf("gateway: model %q shard %d vendor session: %w", model, desc.Shard, err)
 	}

@@ -19,6 +19,11 @@ import (
 type Dealer struct {
 	r     *rng.RNG
 	party int
+	seed  uint64
+	// masks caches session-pinned fixed weight masks by slot id (see
+	// fixedmask.go). They are derived out-of-band from the main stream r,
+	// so taking one never perturbs the replayable draw order.
+	masks map[int]*fixedMask
 	// Issued counts correlations handed out, for diagnostics.
 	Issued int
 }
@@ -29,8 +34,13 @@ func NewDealer(seed uint64, party int) *Dealer {
 	if party != 0 && party != 1 {
 		panic(fmt.Sprintf("mpc: party must be 0 or 1, got %d", party))
 	}
-	return &Dealer{r: rng.New(seed), party: party}
+	return &Dealer{r: rng.New(seed), party: party, seed: seed}
 }
+
+// Seed returns the shared dealer-stream seed this endpoint was built from.
+// Fixed weight masks are pinned to it: an opened F = W−b is only valid
+// against the dealer stream whose seed minted b.
+func (d *Dealer) Seed() uint64 { return d.seed }
 
 // pick returns this party's half of an additive sharing of plain.
 func (d *Dealer) pick(plain []uint64) []uint64 {

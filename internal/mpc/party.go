@@ -292,14 +292,10 @@ func (p *Party) Square(x Share) (Share, error) {
 	if err != nil {
 		return Share{}, fmt.Errorf("mpc: square pair: %w", err)
 	}
-	mine := grow(&p.scr.mine, x.Len())
-	ringSub(mine, x.V, a)
-	theirs, err := transport.Exchange(p.Conn, mine)
+	e, err := p.openOne(x.V, a)
 	if err != nil {
 		return Share{}, fmt.Errorf("mpc: square open: %w", err)
 	}
-	e := grow(&p.scr.e, x.Len())
-	ringAdd(e, mine, theirs)
 	out := NewShare(x.Shape...)
 	tmp := grow(&p.scr.tmp, x.Len())
 	ringMul(tmp, e, a) // E ∘ A_i

@@ -388,9 +388,15 @@ func (s *Session) confirmSource(ss *sourceStamp, shape []int) error {
 	}
 	// A missing store on either side degrades this flush to the live
 	// dealer on both, symmetrically (a party that was already on the live
-	// dealer just stays there).
+	// dealer just stays there). The budget reading goes back to unknown:
+	// announceSource may have just stamped this party's store for a
+	// geometry the flush then abandoned, and letting that stale value
+	// stand would have RemainingBudget consumers (-budget-warn, the
+	// reprovision watcher's floor check) trust a store the session is no
+	// longer drawing from.
 	if mine[0] == 2 || (len(theirs) == 3 && theirs[0] == 2) {
 		s.party.Source = s.party.Dealer
+		s.budget.Store(-1)
 		s.fallbacks.Add(1)
 		return nil
 	}
@@ -417,12 +423,27 @@ func stampString(v []int) string {
 	return fmt.Sprintf("a preprocessed store (run %08x, %d correlations left)", v[1], v[2])
 }
 
+// SessionOptions configures optional session behavior.
+type SessionOptions struct {
+	// FixedMasks selects the fixed weight-mask protocol: setup opens
+	// F = W−b once per layer, flushes open only the activation side, and
+	// any preprocessed stores must be written in the same mode
+	// (WriteStoresMode / the gateway's SetFixedMasks). Both parties must
+	// agree; a one-sided toggle fails loudly in setup's opening exchange.
+	FixedMasks bool
+}
+
 // NewSession compiles the model and performs the one-time weight-sharing
 // setup. Both parties must construct their session before either side
 // issues a query. expect is the input geometry party 0 will enforce per
 // flush; pass 0 for the batch dimension to accept any batch size. Party 1
 // may pass nil.
 func NewSession(p *mpc.Party, m *models.Model, expect []int) (*Session, error) {
+	return NewSessionOpts(p, m, expect, SessionOptions{})
+}
+
+// NewSessionOpts is NewSession with explicit options.
+func NewSessionOpts(p *mpc.Party, m *models.Model, expect []int, opts SessionOptions) (*Session, error) {
 	if m.Net == nil {
 		return nil, fmt.Errorf("pi: model %q has no trained network", m.Name)
 	}
@@ -431,6 +452,7 @@ func NewSession(p *mpc.Party, m *models.Model, expect []int) (*Session, error) {
 		return nil, err
 	}
 	eng := NewEngine(prog)
+	eng.SetFixedMasks(opts.FixedMasks)
 	if err := eng.Setup(p); err != nil {
 		return nil, err
 	}

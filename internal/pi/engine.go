@@ -17,16 +17,35 @@ type Engine struct {
 	// weights holds this party's shares of the secret tensors, indexed
 	// in program order (depth-first through residual branches).
 	weights []mpc.Share
+	// fixedMasks selects the fixed weight-mask protocol: Setup opens
+	// F = W−b once per weight right after sharing it, and every linear op
+	// opens only the activation side per flush (mpc fixedmask.go). Both
+	// parties must agree — a one-sided toggle desyncs Setup's opening
+	// exchange and fails loudly there.
+	fixedMasks bool
+	// fixedWs holds the per-weight opened F = W−b, parallel to weights,
+	// when fixedMasks is on.
+	fixedWs []*mpc.FixedWeight
 }
 
 // NewEngine wraps a program.
 func NewEngine(prog *Program) *Engine { return &Engine{Prog: prog} }
 
+// SetFixedMasks toggles the fixed weight-mask protocol. Call before Setup;
+// both parties must pick the same mode.
+func (e *Engine) SetFixedMasks(on bool) { e.fixedMasks = on }
+
+// FixedMasks reports the engine's weight-mask mode.
+func (e *Engine) FixedMasks() bool { return e.fixedMasks }
+
 // Setup secret-shares the model parameters from party 0 (the model
-// vendor). Both parties must call it before Infer.
+// vendor). Both parties must call it before Infer. With fixed masks on it
+// also opens every weight's F = W−b — the once-per-session cost the
+// per-flush openings then stop paying.
 func (e *Engine) Setup(p *mpc.Party) error {
 	e.party = p
 	e.weights = e.weights[:0]
+	e.fixedWs = e.fixedWs[:0]
 	return e.setupProg(p, e.Prog)
 }
 
@@ -57,6 +76,16 @@ func (e *Engine) setupProg(p *mpc.Party, prog *Program) error {
 				sh = wt
 			}
 			e.weights = append(e.weights, sh)
+			if e.fixedMasks {
+				// The mask slot is the weight's program-order index, so the
+				// same layer maps to the same slot on both parties and in
+				// every store built for this program.
+				fw, err := p.OpenFixedW(len(e.weights)-1, sh)
+				if err != nil {
+					return fmt.Errorf("pi: setup %s fixed mask: %w", op.name, err)
+				}
+				e.fixedWs = append(e.fixedWs, fw)
+			}
 		case opResidual:
 			if err := e.setupProg(p, op.body); err != nil {
 				return err
@@ -111,8 +140,12 @@ func (e *Engine) run(prog *Program, x mpc.Share, widx *int) (mpc.Share, error) {
 				dims.OutC = dims.InC
 			}
 			w := e.weights[*widx]
+			if e.fixedMasks {
+				x, err = p.Conv2DFixedW(x, w, e.fixedWs[*widx], dims)
+			} else {
+				x, err = p.Conv2D(x, w, dims)
+			}
 			*widx++
-			x, err = p.Conv2D(x, w, dims)
 			if err != nil {
 				return mpc.Share{}, fmt.Errorf("pi: %s: %w", op.name, err)
 			}
@@ -125,8 +158,12 @@ func (e *Engine) run(prog *Program, x mpc.Share, widx *int) (mpc.Share, error) {
 		case opLinear:
 			// The In×Out transpose was materialized once at Setup.
 			w := e.weights[*widx]
+			if e.fixedMasks {
+				x, err = p.MatMulFixedW(x, w, e.fixedWs[*widx])
+			} else {
+				x, err = p.MatMul(x, w)
+			}
 			*widx++
-			x, err = p.MatMul(x, w)
 			if err != nil {
 				return mpc.Share{}, fmt.Errorf("pi: %s: %w", op.name, err)
 			}

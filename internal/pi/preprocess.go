@@ -55,6 +55,15 @@ func (zeroSource) TakeConv(dims mpc.ConvDims) (a, b, z []uint64, err error) {
 	return make([]uint64, dims.InLen()), make([]uint64, dims.KLen()), make([]uint64, dims.OutLen()), nil
 }
 
+func (zeroSource) TakeMatMulFixedB(mask, m, k, p int) (a, z []uint64, err error) {
+	// z = a@b = 0 for a = 0, whatever b is — still a valid pair.
+	return make([]uint64, m*k), make([]uint64, m*p), nil
+}
+
+func (zeroSource) TakeConvFixedB(mask int, dims mpc.ConvDims) (a, z []uint64, err error) {
+	return make([]uint64, dims.InLen()), make([]uint64, dims.OutLen()), nil
+}
+
 func (zeroSource) TakeBits(n int) (ta, tb, tc mpc.BitShare, err error) {
 	return make(mpc.BitShare, n), make(mpc.BitShare, n), make(mpc.BitShare, n), nil
 }
@@ -66,6 +75,15 @@ func (zeroSource) TakeBits(n int) (ta, tb, tc mpc.BitShare, err error) {
 // or correlation material, only on shapes — an invariant the trace itself
 // enforces by comparing the two parties' independently recorded tapes.
 func TraceTape(prog *Program, inputShape []int) (corr.Tape, error) {
+	return TraceTapeMode(prog, inputShape, false)
+}
+
+// TraceTapeMode is TraceTape with an explicit weight-mask mode. With
+// fixedMasks the traced engine consumes the FixedB kinds, yielding the
+// tape a fixed-mask session's flushes demand. (Setup's one-time F = W−b
+// opening is a transport exchange, not a correlation take, so it never
+// appears on the per-flush tape.)
+func TraceTapeMode(prog *Program, inputShape []int, fixedMasks bool) (corr.Tape, error) {
 	n := 1
 	for _, d := range inputShape {
 		n *= d
@@ -78,6 +96,7 @@ func TraceTape(prog *Program, inputShape []int) (corr.Tape, error) {
 		rec := corr.NewRecorder(zeroSource{})
 		p.Source = rec
 		eng := NewEngine(prog)
+		eng.SetFixedMasks(fixedMasks)
 		if err := eng.Setup(p); err != nil {
 			return err
 		}
@@ -206,18 +225,25 @@ func StoreSeed(dealerSeed uint64, shape []int) uint64 {
 }
 
 // WriteStorePair generates one geometry's store pair — the demand tape
-// repeated over `flushes` evaluations, off the stream seeded by seed —
-// and writes both parties' files into dir under the canonical names. Both
-// files carry the run stamp the sessions cross-check per flush, derived
-// from the stream seed, so stores from preprocess runs (or shards) with
-// different seeds can never be mixed silently. It is the single place the
-// store wire layout, naming and labeling live; every provisioning path
-// (WriteStores, the gateway's per-shard provisioning) goes through it.
-func WriteStorePair(tape corr.Tape, seed uint64, shape []int, flushes int, dir string) ([]string, error) {
+// repeated over `flushes` evaluations, off the per-geometry stream
+// StoreSeed(pairSeed, shape) — and writes both parties' files into dir
+// under the canonical names. pairSeed is the serving pair's *dealer* seed:
+// the per-geometry stream is derived from it here (so stores of different
+// batch geometries never share correlation randomness), and it doubles as
+// the fixed weight-mask seed, which must be the dealer's so that a
+// store-fed flush replays z = a@b against the b the session opened
+// F = W−b with at setup (corr.Build). Both files carry the run stamp the
+// sessions cross-check per flush, derived from the stream seed, so stores
+// from preprocess runs (or shards) with different seeds can never be
+// mixed silently. It is the single place the store wire layout, naming
+// and labeling live; every provisioning path (WriteStores, the gateway's
+// per-shard provisioning) goes through it.
+func WriteStorePair(tape corr.Tape, pairSeed uint64, shape []int, flushes int, dir string) ([]string, error) {
 	if flushes < 1 {
 		return nil, fmt.Errorf("pi: preprocess flushes must be >= 1, got %d", flushes)
 	}
-	s0, s1, err := corr.BuildPair(tape.Repeat(flushes), rng.New(seed))
+	seed := StoreSeed(pairSeed, shape)
+	s0, s1, err := corr.BuildPair(tape.Repeat(flushes), rng.New(seed), pairSeed)
 	if err != nil {
 		return nil, fmt.Errorf("pi: preprocess geometry %v: %w", shape, err)
 	}
@@ -259,16 +285,23 @@ func WriteStorePair(tape corr.Tape, seed uint64, shape []int, flushes int, dir s
 // for one geometry come off a single shared stream, so any pair of
 // processes loading them holds consistent correlation halves.
 func WriteStores(prog *Program, dealerSeed uint64, shapes [][]int, flushes int, dir string) ([]string, error) {
+	return WriteStoresMode(prog, dealerSeed, shapes, flushes, dir, false)
+}
+
+// WriteStoresMode is WriteStores with an explicit weight-mask mode: with
+// fixedMasks the stores hold the FixedB demand tapes a fixed-mask session
+// consumes (smaller per flush — no weight-side triple halves).
+func WriteStoresMode(prog *Program, dealerSeed uint64, shapes [][]int, flushes int, dir string, fixedMasks bool) ([]string, error) {
 	if flushes < 1 {
 		return nil, fmt.Errorf("pi: preprocess flushes must be >= 1, got %d", flushes)
 	}
 	var paths []string
 	for _, shape := range shapes {
-		tape, err := TraceTape(prog, shape)
+		tape, err := TraceTapeMode(prog, shape, fixedMasks)
 		if err != nil {
 			return nil, fmt.Errorf("pi: preprocess geometry %v: %w", shape, err)
 		}
-		ps, err := WriteStorePair(tape, StoreSeed(dealerSeed, shape), shape, flushes, dir)
+		ps, err := WriteStorePair(tape, dealerSeed, shape, flushes, dir)
 		if err != nil {
 			return nil, err
 		}

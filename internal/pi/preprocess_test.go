@@ -107,7 +107,7 @@ func TestCrossSourceEquivalenceVariants(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				s0, s1, err := corr.BuildPair(tape, rng.New(seed))
+				s0, s1, err := corr.BuildPair(tape, rng.New(seed), seed)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -211,7 +211,7 @@ func TestTapeDeterminismAcrossKernelSettings(t *testing.T) {
 	dir := t.TempDir()
 	recording := kernelSettings()[2] // workers=1/naive
 	withKernelSetting(recording, func() {
-		s0, s1, err := corr.BuildPair(refTape, rng.New(seed))
+		s0, s1, err := corr.BuildPair(refTape, rng.New(seed), seed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -291,7 +291,7 @@ func TestStoreErrorsSurfaceSymmetrically(t *testing.T) {
 
 	t.Run("geometry-mismatch", func(t *testing.T) {
 		// Store preprocessed for N=1, online phase runs N=2.
-		s0, s1, err := corr.BuildPair(tape1, rng.New(7))
+		s0, s1, err := corr.BuildPair(tape1, rng.New(7), 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -311,7 +311,7 @@ func TestStoreErrorsSurfaceSymmetrically(t *testing.T) {
 	t.Run("exhaustion", func(t *testing.T) {
 		// Store holding one demand too few: the program's last correlation
 		// request must fail with the exhaustion error on both parties.
-		s0, s1, err := corr.BuildPair(tape1[:len(tape1)-1], rng.New(7))
+		s0, s1, err := corr.BuildPair(tape1[:len(tape1)-1], rng.New(7), 7)
 		if err != nil {
 			t.Fatal(err)
 		}

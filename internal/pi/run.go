@@ -66,6 +66,10 @@ type RunOptions struct {
 	// The store generator replays the dealer stream exactly, so outputs
 	// are bit-identical to the live-dealer path under the same seed.
 	Preprocess bool
+	// FixedMasks runs the fixed weight-mask protocol (see
+	// SessionOptions.FixedMasks): weight-side openings collapse into the
+	// one-time setup, and each flush opens only the activation side.
+	FixedMasks bool
 }
 
 // Run executes a full private inference of a trained model on input x
@@ -124,11 +128,11 @@ func runPacked(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, counts []in
 	var offlineSeconds float64
 	if opt.Preprocess {
 		offStart := time.Now()
-		tape, err := TraceTape(prog, x.Shape)
+		tape, err := TraceTapeMode(prog, x.Shape, opt.FixedMasks)
 		if err != nil {
 			return nil, err
 		}
-		stores[0], stores[1], err = corr.BuildPair(tape, rng.New(seed))
+		stores[0], stores[1], err = corr.BuildPair(tape, rng.New(seed), seed)
 		if err != nil {
 			return nil, err
 		}
@@ -165,6 +169,7 @@ func runPacked(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, counts []in
 				p.Source = stores[i]
 			}
 			eng := NewEngine(prog)
+			eng.SetFixedMasks(opt.FixedMasks)
 			err := eng.Setup(p)
 			setupMu.Lock()
 			setupBytes += p.Conn.Stats().BytesSent
