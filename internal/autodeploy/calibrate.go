@@ -1,0 +1,296 @@
+// Package autodeploy closes the paper's search→train→serve loop against
+// measured 2PC latencies. The analytic hwmodel.Config prices operators
+// for the ZCU104 accelerator of Table I; a deployment running on
+// different hardware (or the in-process reference executor) has a
+// completely different cost surface, so a search regularized by the
+// analytic table optimizes for the wrong machine. This package
+// (1) calibrates: runs a deterministic per-operator probe suite through
+// the pi/mpc stack on the live transport — in the exact protocol mode
+// the deployment will serve under (preprocessed stores, fixed weight
+// masks) — and fits a hwmodel.LUT whose entries are measured wall
+// times; (2) searches: feeds that LUT into nas.Search; (3) deploys:
+// trains the winner, registers it into a gateway.Registry next to the
+// analytic-table winner, and A/Bs both under the dispatch router,
+// reporting predicted-vs-measured online ms/query.
+package autodeploy
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"pasnet/internal/hwmodel"
+	"pasnet/internal/models"
+	"pasnet/internal/pi"
+	"pasnet/internal/rng"
+	"pasnet/internal/tensor"
+)
+
+// CalibrateOptions configures one probe-suite run.
+type CalibrateOptions struct {
+	// Backbone is the architecture whose slot geometries the probes cover
+	// ("resnet18", ...).
+	Backbone string
+	// ModelCfg is the deployment's model configuration. TrainScaleOps is
+	// forced on: calibration keys must name the channel/resolution
+	// geometry that actually executes under 2PC, not the paper-scale
+	// table geometry.
+	ModelCfg models.Config
+	// HW is the analytic model used for the LUT's fallback, the per-kind
+	// scale fit, and the comp/comm split of measured entries.
+	HW hwmodel.Config
+	// Rows is the probe batch row count. Match it to the deployment's
+	// flush rows (1 for the single-query serving path): per-op times are
+	// amortized per row, and batching amortizes protocol rounds, so a
+	// mismatched row count calibrates a different cost surface.
+	Rows int
+	// Reps repeats each probe model; each op takes its fastest rep
+	// (minimum wall time rejects scheduler noise). Default 2.
+	Reps int
+	// FixedMasks selects the fixed weight-mask protocol. Must match the
+	// deployment's registry mode — the two protocols open different
+	// numbers of values per flush and time differently.
+	FixedMasks bool
+	// Seed drives probe weight init, probe inputs and the 2PC dealer.
+	Seed uint64
+}
+
+// OpCheck is one operator's analytic-vs-measured comparison.
+type OpCheck struct {
+	// Key is the operator's LUT key (kind + geometry).
+	Key string `json:"key"`
+	// AnalyticMS and MeasuredMS are the analytic model's prediction and
+	// the calibrated measurement for one row, in milliseconds.
+	AnalyticMS float64 `json:"analytic_ms"`
+	MeasuredMS float64 `json:"measured_ms"`
+	// ErrFrac is |analytic−measured| / measured (0 when measured is 0).
+	ErrFrac float64 `json:"err_frac"`
+}
+
+// Calibration is the result of one probe-suite run.
+type Calibration struct {
+	// LUT is the fitted table: measured entries for every probed
+	// operator, per-kind scales for analytic fallback on unprobed
+	// geometries, and a calibration Source label.
+	LUT *hwmodel.LUT
+	// OverheadSec is the measured per-row online cost outside the
+	// operator list — input sharing, output reconstruction, pack/unpack.
+	// Serving pays it once per query, so end-to-end prediction adds it
+	// to the operator sum.
+	OverheadSec float64
+	// PlanDigest fingerprints the probe plan — backbone, probe
+	// parameters, and every probed operator key. Two runs with the same
+	// options produce the same digest (the suite is deterministic);
+	// wall-time readings naturally differ.
+	PlanDigest string
+	// Probes is the number of distinct operator keys measured.
+	Probes int
+	// PerOp compares the analytic model against each measurement,
+	// sorted by key.
+	PerOp []OpCheck
+}
+
+// probeVariants are the backbone configurations the suite executes. Two
+// variants cover every slot candidate the search can pick — ReLU vs
+// X²act at activation slots, max vs average at pooling slots — while
+// the fixed operators (convs, FC, residual adds, GAP) appear in both
+// and keep their fastest reading.
+var probeVariants = []struct {
+	label string
+	act   models.ActChoice
+	pool  models.PoolChoice
+}{
+	{"relu-max", models.ActReLU, models.PoolMax},
+	{"x2-avg", models.ActX2, models.PoolAvg},
+}
+
+// keyAgg accumulates one operator key's measurements across runs.
+type keyAgg struct {
+	op   hwmodel.NetOp
+	best float64 // min over runs of the run's mean per-row seconds
+}
+
+// Calibrate runs the probe suite and fits a calibrated LUT.
+func Calibrate(opts CalibrateOptions) (*Calibration, error) {
+	if opts.Backbone == "" {
+		return nil, fmt.Errorf("autodeploy: no backbone to calibrate")
+	}
+	if err := opts.HW.Validate(); err != nil {
+		return nil, fmt.Errorf("autodeploy: analytic fallback: %w", err)
+	}
+	if opts.Rows < 1 {
+		opts.Rows = 1
+	}
+	if opts.Reps < 1 {
+		opts.Reps = 2
+	}
+	cfg := opts.ModelCfg
+	cfg.TrainScaleOps = true
+
+	agg := map[string]*keyAgg{}
+	overhead := math.Inf(1)
+	for vi, v := range probeVariants {
+		vcfg := cfg
+		vcfg.Act = v.act
+		vcfg.Pool = v.pool
+		m, err := models.ByName(opts.Backbone, vcfg)
+		if err != nil {
+			return nil, fmt.Errorf("autodeploy: probe variant %s: %w", v.label, err)
+		}
+		x := tensor.New(opts.Rows, vcfg.InputC, vcfg.InputHW, vcfg.InputHW).
+			RandNorm(rng.New(rng.MixSeed(opts.Seed, 0x70726f6265, uint64(vi))), 0.5)
+		for rep := 0; rep < opts.Reps; rep++ {
+			runSeed := rng.MixSeed(opts.Seed, uint64(vi)+1, uint64(rep)+1)
+			res, err := pi.RunOpt(m, opts.HW, x, runSeed, pi.RunOptions{
+				// Preprocess matters for fidelity, not just speed: the
+				// live-dealer path generates correlations inline during
+				// the online phase, which would inflate every op reading
+				// relative to the store-replay serving path.
+				Preprocess: true,
+				FixedMasks: opts.FixedMasks,
+				RecordOps:  true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("autodeploy: probe %s rep %d: %w", v.label, rep, err)
+			}
+			mergeRun(agg, res.OpTimings)
+			if ovh := runOverhead(res); ovh/float64(opts.Rows) < overhead {
+				overhead = ovh / float64(opts.Rows)
+			}
+		}
+	}
+	if len(agg) == 0 {
+		return nil, fmt.Errorf("autodeploy: probe suite traced no operators")
+	}
+	if math.IsInf(overhead, 1) {
+		overhead = 0
+	}
+
+	cal := &Calibration{OverheadSec: overhead, Probes: len(agg)}
+	cal.LUT = fitLUT(opts, agg)
+	cal.PerOp = opChecks(opts.HW, agg)
+	cal.PlanDigest = planDigest(opts, agg)
+	return cal, nil
+}
+
+// mergeRun folds one probe run's op trace into the aggregate: per key,
+// the mean per-row seconds over the run's occurrences, then the minimum
+// across runs (identical layers share a key by construction; the model
+// prices them identically, so their mean is the right single reading).
+func mergeRun(agg map[string]*keyAgg, timings []pi.OpTiming) {
+	type acc struct {
+		op    hwmodel.NetOp
+		sum   float64
+		count int
+	}
+	run := map[string]*acc{}
+	for _, t := range timings {
+		if t.Rows < 1 {
+			continue
+		}
+		key := t.Key()
+		a := run[key]
+		if a == nil {
+			a = &acc{op: hwmodel.NetOp{Kind: t.Kind, Shape: t.Shape}}
+			run[key] = a
+		}
+		a.sum += t.Seconds / float64(t.Rows)
+		a.count++
+	}
+	for key, a := range run {
+		mean := a.sum / float64(a.count)
+		k := agg[key]
+		if k == nil {
+			agg[key] = &keyAgg{op: a.op, best: mean}
+		} else if mean < k.best {
+			k.best = mean
+		}
+	}
+}
+
+// runOverhead is the run's online wall time not attributed to any traced
+// operator: input sharing, output reconstruction, pack/unpack.
+func runOverhead(res *pi.Result) float64 {
+	ops := 0.0
+	for _, t := range res.OpTimings {
+		ops += t.Seconds
+	}
+	if ovh := res.OnlineSeconds - ops; ovh > 0 {
+		return ovh
+	}
+	return 0
+}
+
+// fitLUT builds the calibrated table: measured TotalSec per probed key
+// (comp/comm split pro-rata to the analytic model, traffic and rounds
+// copied from it — measurement sees only wall time), plus per-kind
+// measured/analytic scale ratios so unprobed geometries fall back to a
+// rescaled analytic estimate instead of a raw one.
+func fitLUT(opts CalibrateOptions, agg map[string]*keyAgg) *hwmodel.LUT {
+	lut := hwmodel.NewLUT(opts.HW)
+	lut.Source = fmt.Sprintf("calibrated/%s/hw%d", opts.Backbone, opts.ModelCfg.InputHW)
+	kindMeas := map[string]float64{}
+	kindAna := map[string]float64{}
+	for key, a := range agg {
+		ana := opts.HW.Op(a.op.Kind, a.op.Shape)
+		c := hwmodel.Cost{TotalSec: a.best, CommBits: ana.CommBits, Rounds: ana.Rounds}
+		if ana.TotalSec > 0 {
+			c.CompSec = a.best * ana.CompSec / ana.TotalSec
+			// The remainder can round to a tiny negative when the
+			// analytic split is ~all-compute; the artifact validator
+			// rightly rejects negative fields.
+			if c.CommSec = a.best - c.CompSec; c.CommSec < 0 {
+				c.CommSec = 0
+			}
+		} else {
+			c.CompSec = a.best
+		}
+		lut.Entries[key] = c
+		kind := a.op.Kind.String()
+		kindMeas[kind] += a.best
+		kindAna[kind] += ana.TotalSec
+	}
+	scales := map[string]float64{}
+	for kind, meas := range kindMeas {
+		if ana := kindAna[kind]; ana > 0 && meas > 0 {
+			scales[kind] = meas / ana
+		}
+	}
+	if len(scales) > 0 {
+		lut.Scales = scales
+	}
+	return lut
+}
+
+// opChecks compares the analytic model against each measured key.
+func opChecks(hw hwmodel.Config, agg map[string]*keyAgg) []OpCheck {
+	checks := make([]OpCheck, 0, len(agg))
+	for key, a := range agg {
+		ana := hw.Op(a.op.Kind, a.op.Shape).TotalSec
+		c := OpCheck{Key: key, AnalyticMS: ana * 1e3, MeasuredMS: a.best * 1e3}
+		if a.best > 0 {
+			c.ErrFrac = math.Abs(ana-a.best) / a.best
+		}
+		checks = append(checks, c)
+	}
+	sort.Slice(checks, func(i, j int) bool { return checks[i].Key < checks[j].Key })
+	return checks
+}
+
+// planDigest fingerprints the probe plan: options that shape the suite
+// plus every probed key, in sorted order. FNV-1a over the joined text.
+func planDigest(opts CalibrateOptions, agg map[string]*keyAgg) string {
+	keys := make([]string, 0, len(agg))
+	for key := range agg {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "PASCAL1|%s|rows=%d|reps=%d|fixed=%v|seed=%d|",
+		opts.Backbone, opts.Rows, opts.Reps, opts.FixedMasks, opts.Seed)
+	for _, key := range keys {
+		fmt.Fprintf(h, "%s|", key)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

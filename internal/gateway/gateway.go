@@ -32,6 +32,7 @@ import (
 	"pasnet/internal/models"
 	"pasnet/internal/pi"
 	"pasnet/internal/rng"
+	"pasnet/internal/tensor"
 )
 
 // MaxModelID bounds a registered model identifier, matching the transport
@@ -307,6 +308,9 @@ func (r *Registry) Register(spec *ModelSpec) error {
 	if len(spec.Shards) == 0 {
 		return fmt.Errorf("gateway: model %q registers no shards", spec.ID)
 	}
+	if err := probeGeometry(spec); err != nil {
+		return err
+	}
 	for i := range spec.Shards {
 		d := &spec.Shards[i]
 		d.Model = spec.ID
@@ -338,6 +342,32 @@ func (r *Registry) Register(spec *ModelSpec) error {
 	}
 	r.specs[spec.ID] = spec
 	r.order = append(r.order, spec.ID)
+	return nil
+}
+
+// probeGeometry verifies at registration time that the declared query
+// geometry actually drives the trained network: one zero query row is
+// forwarded in plaintext under recover. Dimension checks alone cannot do
+// this — GAP-based backbones are spatially polymorphic, so the only
+// faithful test of "would the first flush succeed" is running the net. A
+// programmatically assembled spec whose geometry mismatches its network
+// (wrong channel count, a VGG resolution its flatten→linear dims reject)
+// therefore fails here, at registration, instead of killing the first
+// serving flush of every shard.
+func probeGeometry(spec *ModelSpec) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("gateway: model %q input geometry %v does not drive its trained network: %v", spec.ID, spec.Input, r)
+		}
+	}()
+	out := spec.Model.Net.Forward(tensor.New(append([]int{1}, spec.Input...)...), false)
+	if out == nil || len(out.Shape) != 2 || out.Shape[0] != 1 || out.Shape[1] < 1 {
+		shape := []int(nil)
+		if out != nil {
+			shape = out.Shape
+		}
+		return fmt.Errorf("gateway: model %q probe forward at geometry %v produced shape %v, want 1×classes logits", spec.ID, spec.Input, shape)
+	}
 	return nil
 }
 

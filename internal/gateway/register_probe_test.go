@@ -1,0 +1,80 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+
+	"pasnet/internal/models"
+	"pasnet/internal/nn"
+	"pasnet/internal/rng"
+	"pasnet/internal/tensor"
+)
+
+// flattenModel builds a net whose flatten→linear dims pin the input
+// resolution exactly (the VGG shape-sensitivity case: unlike GAP-based
+// nets, a wrong resolution cannot silently forward).
+func flattenModel(hw int, seed uint64) *models.Model {
+	r := rng.New(seed)
+	net := nn.NewNetwork(nn.NewSequential(
+		nn.NewConv2D("c1", tensor.ConvSpec{InC: 3, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}, false, r),
+		nn.NewBatchNorm2D("bn1", 4),
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewLinear("fc", 4*hw*hw, 4, r),
+	))
+	net.Forward(tensor.New(2, 3, hw, hw).RandNorm(r, 0.5), true)
+	return &models.Model{Name: "flat", Net: net}
+}
+
+// TestRegisterProbesGeometry pins the registration-time guarantee: a spec
+// whose declared geometry cannot drive its trained network is rejected at
+// Register with a descriptive error, not at the first serving flush.
+func TestRegisterProbesGeometry(t *testing.T) {
+	m, input := testModel("ok", 3, 8, 4, 21)
+	good := &ModelSpec{ID: "ok", Model: m, Input: input, Shards: Shards("ok", 1, 77, "")}
+	if err := NewRegistry().Register(good); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	cases := []struct {
+		name  string
+		spec  *ModelSpec
+		wantA string
+	}{
+		{
+			name: "channel mismatch",
+			spec: func() *ModelSpec {
+				m, _ := testModel("chan", 3, 8, 4, 22)
+				return &ModelSpec{ID: "chan", Model: m, Input: []int{5, 8, 8}, Shards: Shards("chan", 1, 78, "")}
+			}(),
+			wantA: "does not drive its trained network",
+		},
+		{
+			name: "flatten resolution mismatch",
+			spec: &ModelSpec{
+				ID: "flat", Model: flattenModel(8, 23), Input: []int{3, 16, 16},
+				Shards: Shards("flat", 1, 79, ""),
+			},
+			wantA: "does not drive its trained network",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := NewRegistry().Register(tc.spec)
+			if err == nil {
+				t.Fatalf("mismatched spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantA) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantA)
+			}
+		})
+	}
+
+	// Spatially polymorphic nets (GAP head) genuinely serve at any
+	// resolution — those must keep registering.
+	poly, _ := testModel("poly", 3, 8, 4, 24)
+	spec := &ModelSpec{ID: "poly", Model: poly, Input: []int{3, 16, 16}, Shards: Shards("poly", 1, 80, "")}
+	if err := NewRegistry().Register(spec); err != nil {
+		t.Fatalf("polymorphic model rejected at alternate resolution: %v", err)
+	}
+}

@@ -140,15 +140,18 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Cost is the modelled cost of one operator invocation.
+// Cost is the modelled cost of one operator invocation. The JSON names
+// are part of the serialized LUT artifact format (lutfile.go).
 type Cost struct {
 	// CompSec and CommSec split the latency into computation and
 	// communication; TotalSec is their sum.
-	CompSec, CommSec, TotalSec float64
+	CompSec  float64 `json:"comp_sec"`
+	CommSec  float64 `json:"comm_sec"`
+	TotalSec float64 `json:"total_sec"`
 	// CommBits is the modelled traffic in bits (both directions).
-	CommBits int64
+	CommBits int64 `json:"comm_bits"`
 	// Rounds is the number of communication messages charged.
-	Rounds int
+	Rounds int `json:"rounds"`
 }
 
 func (c Cost) add(o Cost) Cost {

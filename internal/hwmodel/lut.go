@@ -24,18 +24,38 @@ func (o NetOp) Key() string {
 		o.Kind, o.Shape.FI, o.Shape.IC, o.Shape.OC, o.Shape.K, o.Shape.Stride, o.Shape.FO, o.Shape.Groups)
 }
 
+// AnalyticSource labels a LUT whose entries come from the closed-form
+// hardware model alone (no measurement).
+const AnalyticSource = "analytic"
+
 // LUT is the latency lookup table Lat(OP): memoized operator costs for a
-// fixed hardware configuration.
+// fixed hardware configuration. An analytic LUT fills itself from the
+// Config equations on demand; a calibrated LUT (built by
+// internal/autodeploy from measured 2PC wall times, or loaded from a
+// serialized artifact) carries measured entries for the probed keys and
+// falls back to the analytic equations — scaled by the per-kind
+// measured/analytic ratio in Scales when one was fitted — for keys the
+// probe suite never covered.
 type LUT struct {
-	// Config is the hardware model the entries were built with.
+	// Config is the hardware model behind the analytic fallback (and, for
+	// an analytic table, every entry).
 	Config Config
 	// Entries maps NetOp.Key() to cost.
 	Entries map[string]Cost
+	// Scales maps OpKind.String() to a fitted measured/analytic latency
+	// ratio. On a key miss the analytic cost's time fields are multiplied
+	// by the kind's scale before memoization, so a calibrated table stays
+	// anchored to measurement even off the probed geometries. Empty or
+	// missing kinds fall back to the unscaled analytic cost.
+	Scales map[string]float64
+	// Source labels the table's provenance: AnalyticSource for the pure
+	// model, or a calibration label (e.g. "calibrated/resnet18-k4").
+	Source string
 }
 
-// NewLUT returns an empty table for the configuration.
+// NewLUT returns an empty analytic table for the configuration.
 func NewLUT(cfg Config) *LUT {
-	return &LUT{Config: cfg, Entries: make(map[string]Cost)}
+	return &LUT{Config: cfg, Entries: make(map[string]Cost), Source: AnalyticSource}
 }
 
 // Cost returns the operator cost, computing and memoizing it on first use.
@@ -45,6 +65,11 @@ func (l *LUT) Cost(op NetOp) Cost {
 		return c
 	}
 	c := l.Config.Op(op.Kind, op.Shape)
+	if s, ok := l.Scales[op.Kind.String()]; ok && s > 0 {
+		c.CompSec *= s
+		c.CommSec *= s
+		c.TotalSec *= s
+	}
 	l.Entries[key] = c
 	return c
 }
@@ -73,6 +98,17 @@ func NetworkCost(cfg Config, ops []NetOp) Cost {
 	var total Cost
 	for _, op := range ops {
 		total = total.add(cfg.Op(op.Kind, op.Shape))
+	}
+	return total
+}
+
+// NetworkCostLUT sums a network's operator costs through a lookup table —
+// the calibrated analogue of NetworkCost, used when entries come from
+// measurement rather than the closed-form equations.
+func NetworkCostLUT(l *LUT, ops []NetOp) Cost {
+	var total Cost
+	for _, op := range ops {
+		total = total.add(l.Cost(op))
 	}
 	return total
 }

@@ -1,0 +1,173 @@
+package hwmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+)
+
+// Serialized LUT artifact (the calibrated-latency analogue of the .pcs
+// correlation store format):
+//
+//	{
+//	  "format":  "PASLUT1",          version gate
+//	  "source":  "...",              provenance label
+//	  "config":  {...},              analytic fallback hardware model
+//	  "scales":  {"2PC-Conv": ...},  per-kind measured/analytic ratios
+//	  "entries": {"<NetOp.Key()>": {...}},
+//	  "sched":   {...},              optional fitted serving-latency model
+//	  "crc32":   <uint32>            CRC-32 (IEEE) of the canonical body
+//	}
+//
+// The body is the same structure with crc32 zeroed, marshalled compactly
+// (encoding/json sorts map keys, so the encoding — and hence the CRC — is
+// deterministic). Latencies are float64s; Go's JSON encoder emits the
+// shortest representation that round-trips exactly, so a decode returns
+// bit-equal values. A flipped byte, a truncated download, or an artifact
+// from another format version fails loudly at load time with a
+// descriptive error instead of silently steering a search.
+
+// LUTFormat is the artifact version this binary reads and writes.
+const LUTFormat = "PASLUT1"
+
+// SchedFit is an optional serving-stack latency model harvested from the
+// dispatch scheduler's online fit (flush ≈ FlushMS + RowMS·rows), carried
+// alongside the per-op table so a deploy-time admission target can be
+// seeded from calibration instead of waiting for the fleet to re-learn it.
+type SchedFit struct {
+	// FlushMS is the fitted per-flush fixed cost F in milliseconds.
+	FlushMS float64 `json:"flush_ms"`
+	// RowMS is the fitted per-row cost C in milliseconds.
+	RowMS float64 `json:"row_ms"`
+}
+
+// lutFile is the on-disk JSON schema.
+type lutFile struct {
+	Format  string             `json:"format"`
+	Source  string             `json:"source"`
+	Config  Config             `json:"config"`
+	Scales  map[string]float64 `json:"scales,omitempty"`
+	Entries map[string]Cost    `json:"entries"`
+	Sched   *SchedFit          `json:"sched,omitempty"`
+	CRC     uint32             `json:"crc32"`
+}
+
+// bodyCRC computes the artifact checksum: the compact encoding of the
+// file with its CRC field zeroed.
+func (f lutFile) bodyCRC() (uint32, error) {
+	f.CRC = 0
+	body, err := json.Marshal(f)
+	if err != nil {
+		return 0, fmt.Errorf("hwmodel: encode LUT body: %w", err)
+	}
+	return crc32.ChecksumIEEE(body), nil
+}
+
+// EncodeJSON serializes the table (optionally with a fitted serving-stack
+// latency model) into the versioned, CRC-trailed artifact format.
+func (l *LUT) EncodeJSON(sched *SchedFit) ([]byte, error) {
+	for key, c := range l.Entries {
+		if err := validEntry(key, c); err != nil {
+			return nil, err
+		}
+	}
+	for kind, s := range l.Scales {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return nil, fmt.Errorf("hwmodel: LUT scale for %s is %v, want a finite non-negative ratio", kind, s)
+		}
+	}
+	f := lutFile{
+		Format:  LUTFormat,
+		Source:  l.Source,
+		Config:  l.Config,
+		Scales:  l.Scales,
+		Entries: l.Entries,
+		Sched:   sched,
+	}
+	crc, err := f.bodyCRC()
+	if err != nil {
+		return nil, err
+	}
+	f.CRC = crc
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("hwmodel: encode LUT: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeLUTJSON parses and verifies a serialized LUT artifact, returning
+// the table and the optional fitted serving-latency model it carried.
+func DecodeLUTJSON(data []byte) (*LUT, *SchedFit, error) {
+	var f lutFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, fmt.Errorf("hwmodel: LUT artifact is not valid JSON (corrupt or truncated?): %w", err)
+	}
+	if f.Format != LUTFormat {
+		return nil, nil, fmt.Errorf("hwmodel: LUT artifact format %q is not %q — regenerate the artifact with this binary's calibrator", f.Format, LUTFormat)
+	}
+	want, err := f.bodyCRC()
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.CRC != want {
+		return nil, nil, fmt.Errorf("hwmodel: LUT artifact checksum mismatch (have %08x, computed %08x) — the file is corrupt or was hand-edited; regenerate it", f.CRC, want)
+	}
+	if f.Entries == nil {
+		return nil, nil, fmt.Errorf("hwmodel: LUT artifact carries no entries")
+	}
+	if err := f.Config.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("hwmodel: LUT artifact fallback config: %w", err)
+	}
+	for key, c := range f.Entries {
+		if err := validEntry(key, c); err != nil {
+			return nil, nil, err
+		}
+	}
+	for kind, s := range f.Scales {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return nil, nil, fmt.Errorf("hwmodel: LUT artifact scale for %s is %v, want a finite non-negative ratio", kind, s)
+		}
+	}
+	l := &LUT{Config: f.Config, Entries: f.Entries, Scales: f.Scales, Source: f.Source}
+	if l.Source == "" {
+		l.Source = AnalyticSource
+	}
+	return l, f.Sched, nil
+}
+
+// validEntry rejects entries no latency regularizer can safely consume.
+// Zero is legal — calibrated tables legitimately measure ~0 for local ops
+// — but negative, NaN or infinite latencies are always artifacts of a bug
+// or a corrupted file.
+func validEntry(key string, c Cost) error {
+	for _, v := range [...]float64{c.CompSec, c.CommSec, c.TotalSec} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("hwmodel: LUT entry %q has latency %v, want finite and non-negative", key, v)
+		}
+	}
+	if c.CommBits < 0 || c.Rounds < 0 {
+		return fmt.Errorf("hwmodel: LUT entry %q has negative traffic fields", key)
+	}
+	return nil
+}
+
+// WriteFile serializes the table to path (0644).
+func (l *LUT) WriteFile(path string, sched *SchedFit) error {
+	data, err := l.EncodeJSON(sched)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadLUTFile loads and verifies a serialized LUT artifact.
+func ReadLUTFile(path string) (*LUT, *SchedFit, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hwmodel: read LUT artifact: %w", err)
+	}
+	return DecodeLUTJSON(data)
+}

@@ -1,0 +1,221 @@
+package hwmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// testLUT builds a small calibrated-looking table with awkward float
+// values (shortest-representation stress) and a fallback scale.
+func testLUT() *LUT {
+	cfg := DefaultConfig()
+	l := NewLUT(cfg)
+	l.Source = "calibrated/unit-test"
+	l.Scales = map[string]float64{OpConv.String(): 0.1234567890123456789, OpReLU.String(): 3.3}
+	ops := []NetOp{
+		{Kind: OpConv, Shape: OpShape{FI: 8, IC: 3, OC: 16, K: 3, Stride: 1, FO: 8}},
+		{Kind: OpReLU, Shape: OpShape{FI: 8, IC: 16}},
+		{Kind: OpX2Act, Shape: OpShape{FI: 4, IC: 32}},
+		{Kind: OpFC, Shape: OpShape{IC: 64, OC: 10}},
+	}
+	l.Build(ops)
+	// Overwrite with "measured" values, including a legitimate zero (a
+	// local op) and a value that does not round to a short decimal.
+	l.Entries[ops[0].Key()] = Cost{CompSec: 0.001234567890123456, CommSec: 1e-9, TotalSec: 0.001234568890123456 + 1e-17, CommBits: 12345, Rounds: 2}
+	l.Entries[ops[1].Key()] = Cost{}
+	return l
+}
+
+func TestLUTFileRoundTripBitEqual(t *testing.T) {
+	l := testLUT()
+	sched := &SchedFit{FlushMS: 1.25, RowMS: 0.0625}
+	data, err := l.EncodeJSON(sched)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, gotSched, err := DecodeLUTJSON(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Source != l.Source {
+		t.Fatalf("source %q != %q", got.Source, l.Source)
+	}
+	if gotSched == nil || *gotSched != *sched {
+		t.Fatalf("sched fit %+v != %+v", gotSched, sched)
+	}
+	if len(got.Entries) != len(l.Entries) {
+		t.Fatalf("entry count %d != %d", len(got.Entries), len(l.Entries))
+	}
+	for key, want := range l.Entries {
+		have, ok := got.Entries[key]
+		if !ok {
+			t.Fatalf("entry %q lost in round trip", key)
+		}
+		// Bit-equality, not tolerance: the artifact must preserve the
+		// calibrated latencies exactly.
+		if have != want {
+			t.Fatalf("entry %q round-tripped %+v != %+v", key, have, want)
+		}
+	}
+	for kind, want := range l.Scales {
+		if got.Scales[kind] != want {
+			t.Fatalf("scale %q round-tripped %v != %v", kind, got.Scales[kind], want)
+		}
+	}
+	// A second encode of the decoded table is byte-identical: the format
+	// is canonical, so artifacts can be diffed and content-addressed.
+	again, err := got.EncodeJSON(gotSched)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encode is not byte-identical")
+	}
+}
+
+func TestLUTFileMissFallsBackScaled(t *testing.T) {
+	l := testLUT()
+	data, err := l.EncodeJSON(nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, _, err := DecodeLUTJSON(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// A conv geometry the probe never covered: analytic cost × the fitted
+	// conv scale.
+	miss := NetOp{Kind: OpConv, Shape: OpShape{FI: 16, IC: 8, OC: 8, K: 3, Stride: 1, FO: 16}}
+	analytic := got.Config.Op(miss.Kind, miss.Shape)
+	c := got.Cost(miss)
+	wantTotal := analytic.TotalSec * got.Scales[OpConv.String()]
+	if c.TotalSec != wantTotal {
+		t.Fatalf("miss fallback total %v, want scaled analytic %v", c.TotalSec, wantTotal)
+	}
+	// A kind with no fitted scale falls back to the unscaled equations.
+	pool := NetOp{Kind: OpMaxPool, Shape: OpShape{FI: 8, IC: 4, K: 2, Stride: 2}}
+	if got.Cost(pool) != got.Config.Op(pool.Kind, pool.Shape) {
+		t.Fatalf("unscaled miss should match analytic cost")
+	}
+}
+
+// corruptLUT mutates one top-level field of a valid artifact and restores
+// CRC consistency when asked, so each rejection tests exactly one check.
+func corruptLUT(t *testing.T, mutate func(m map[string]any), refreshCRC bool) []byte {
+	t.Helper()
+	data, err := testLUT().EncodeJSON(nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	mutate(m)
+	if refreshCRC {
+		// Recompute the checksum the way the encoder does, via the typed
+		// schema, so only the mutated field differs from a "real" file.
+		raw, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("remarshal: %v", err)
+		}
+		var f lutFile
+		if err := json.Unmarshal(raw, &f); err != nil {
+			t.Fatalf("retype: %v", err)
+		}
+		crc, err := f.bodyCRC()
+		if err != nil {
+			t.Fatalf("crc: %v", err)
+		}
+		m["crc32"] = crc
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("remarshal: %v", err)
+	}
+	return out
+}
+
+func TestLUTFileRejectsCorruption(t *testing.T) {
+	valid, err := testLUT().EncodeJSON(nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{
+			name: "truncated",
+			data: valid[:len(valid)/2],
+			want: "corrupt or truncated",
+		},
+		{
+			name: "not json",
+			data: []byte("PASCORR2 this is not a LUT"),
+			want: "not valid JSON",
+		},
+		{
+			name: "wrong version",
+			data: corruptLUT(t, func(m map[string]any) { m["format"] = "PASLUT0" }, true),
+			want: `format "PASLUT0" is not "PASLUT1"`,
+		},
+		{
+			name: "flipped body byte",
+			data: corruptLUT(t, func(m map[string]any) { m["source"] = "tampered" }, false),
+			want: "checksum mismatch",
+		},
+		{
+			name: "negative latency",
+			data: corruptLUT(t, func(m map[string]any) {
+				entries := m["entries"].(map[string]any)
+				for _, v := range entries {
+					v.(map[string]any)["total_sec"] = -1.0
+					break
+				}
+			}, true),
+			want: "want finite and non-negative",
+		},
+		{
+			name: "negative scale",
+			data: corruptLUT(t, func(m map[string]any) {
+				m["scales"].(map[string]any)[OpConv.String()] = -2.0
+			}, true),
+			want: "finite non-negative ratio",
+		},
+		{
+			name: "no entries",
+			data: corruptLUT(t, func(m map[string]any) { delete(m, "entries") }, true),
+			want: "no entries",
+		},
+		{
+			name: "bad fallback config",
+			data: corruptLUT(t, func(m map[string]any) {
+				m["config"].(map[string]any)["FreqHz"] = 0.0
+			}, true),
+			want: "fallback config",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeLUTJSON(tc.data)
+			if err == nil {
+				t.Fatalf("decode accepted %s artifact", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLUTFileEncodeRejectsBadEntries(t *testing.T) {
+	l := testLUT()
+	l.Entries["broken"] = Cost{TotalSec: -0.5}
+	if _, err := l.EncodeJSON(nil); err == nil {
+		t.Fatalf("encode accepted a negative latency entry")
+	}
+}

@@ -10,15 +10,15 @@ import (
 // block, recording the addition op and keeping geometry consistent.
 func (b *builder) residual(body func(), shortcut func()) {
 	preTrainC, preTrainHW := b.trainC, b.trainHW
-	preLatC, preLatHW := b.latC, b.latHW
+	preLatC, preLatHW, preFullC := b.latC, b.latHW, b.fullC
 	bodyLayers := b.subLayers(body)
 	postTrainC, postTrainHW := b.trainC, b.trainHW
-	postLatC, postLatHW := b.latC, b.latHW
+	postLatC, postLatHW, postFullC := b.latC, b.latHW, b.fullC
 
 	var scLayer nn.Layer
 	if shortcut != nil {
 		b.trainC, b.trainHW = preTrainC, preTrainHW
-		b.latC, b.latHW = preLatC, preLatHW
+		b.latC, b.latHW, b.fullC = preLatC, preLatHW, preFullC
 		scLayers := b.subLayers(shortcut)
 		if b.latC != postLatC || b.latHW != postLatHW {
 			panic(fmt.Sprintf("models: shortcut geometry (%d,%d) != body (%d,%d)",
@@ -32,7 +32,7 @@ func (b *builder) residual(body func(), shortcut func()) {
 			preLatC, preLatHW, postLatC, postLatHW))
 	}
 	b.trainC, b.trainHW = postTrainC, postTrainHW
-	b.latC, b.latHW = postLatC, postLatHW
+	b.latC, b.latHW, b.fullC = postLatC, postLatHW, postFullC
 	b.residualAdd()
 	if !b.cfg.OpsOnly {
 		b.add(nn.NewResidual(nn.NewSequential(bodyLayers...), scLayer, nil))
@@ -85,7 +85,7 @@ func (b *builder) resNetStem() {
 
 // basicBlock is the ResNet-18/34 two-conv residual block.
 func (b *builder) basicBlock(outC, stride int) {
-	needProj := stride != 1 || b.latC != outC
+	needProj := stride != 1 || b.fullC != outC
 	b.residual(func() {
 		b.conv(outC, 3, stride, 1)
 		b.act()
@@ -97,7 +97,7 @@ func (b *builder) basicBlock(outC, stride int) {
 // bottleneck is the ResNet-50 1×1-3×3-1×1 block with 4× expansion.
 func (b *builder) bottleneck(midC, stride int) {
 	outC := midC * 4
-	needProj := stride != 1 || b.latC != outC
+	needProj := stride != 1 || b.fullC != outC
 	b.residual(func() {
 		b.conv(midC, 1, 1, 0)
 		b.act()
@@ -151,7 +151,7 @@ func ResNet50(cfg Config) *Model { return resNet(cfg, "ResNet50", [4]int{3, 4, 6
 
 // invertedResidual is MobileNetV2's expand→depthwise→project block.
 func (b *builder) invertedResidual(expand, outC, stride int) {
-	inC := b.latC
+	inC := b.fullC
 	hidden := inC * expand
 	body := func() {
 		if expand != 1 {

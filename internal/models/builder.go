@@ -99,6 +99,11 @@ type Config struct {
 	// OpsOnly skips nn construction entirely (latency tables at paper
 	// scale without allocating weights).
 	OpsOnly bool
+	// TrainScaleOps records the op list (and slot shapes) at the trainable
+	// network's scale — WidthMult-scaled channels at InputHW resolution —
+	// instead of paper scale. Calibration uses this so LUT keys name the
+	// geometry that actually executes under 2PC; it implies LatHW=InputHW.
+	TrainScaleOps bool
 	// Seed drives weight initialization.
 	Seed uint64
 }
@@ -173,8 +178,14 @@ type builder struct {
 	slots  []Slot
 	// Geometry at training scale.
 	trainC, trainHW int
-	// Geometry at latency (paper) scale.
+	// Geometry at the scale the op list records (paper scale, or training
+	// scale under TrainScaleOps).
 	latC, latHW int
+	// fullC is the paper-scale channel count regardless of TrainScaleOps;
+	// backbone topology decisions (projection shortcuts, expansion ratios)
+	// always consult it so the architecture never depends on the scale the
+	// op list happens to be recorded at.
+	fullC int
 	nextSlot    int
 	nameSeq     int
 }
@@ -183,7 +194,7 @@ func newBuilder(cfg Config) *builder {
 	if cfg.WidthMult <= 0 {
 		cfg.WidthMult = 1
 	}
-	if cfg.LatHW == 0 {
+	if cfg.LatHW == 0 || cfg.TrainScaleOps {
 		cfg.LatHW = cfg.InputHW
 	}
 	return &builder{
@@ -193,6 +204,7 @@ func newBuilder(cfg Config) *builder {
 		trainHW: cfg.InputHW,
 		latC:    cfg.InputC,
 		latHW:   cfg.LatHW,
+		fullC:   cfg.InputC,
 	}
 }
 
@@ -220,15 +232,27 @@ func (b *builder) add(l nn.Layer) {
 	}
 }
 
+// latOut maps a paper-scale channel count to the one the op list records:
+// unchanged normally, width-scaled under TrainScaleOps. Every other op's
+// geometry derives from latC, so scaling convs here keeps the whole list
+// consistent with the trainable network.
+func (b *builder) latOut(outFull int) int {
+	if b.cfg.TrainScaleOps {
+		return b.width(outFull)
+	}
+	return outFull
+}
+
 // conv appends Conv→BN (bias folded into BN), updating geometry.
 func (b *builder) conv(outFull, k, stride, pad int) {
 	name := b.name("conv")
 	fo := (b.latHW+2*pad-k)/stride + 1
+	outLat := b.latOut(outFull)
 	b.ops = append(b.ops, hwmodel.NetOp{
 		Name: name,
 		Kind: hwmodel.OpConv,
 		Shape: hwmodel.OpShape{
-			FI: b.latHW, IC: b.latC, OC: outFull, K: k, Stride: stride, FO: fo,
+			FI: b.latHW, IC: b.latC, OC: outLat, K: k, Stride: stride, FO: fo,
 		},
 	})
 	if !b.cfg.OpsOnly {
@@ -239,8 +263,9 @@ func (b *builder) conv(outFull, k, stride, pad int) {
 		b.trainC = outTrain
 		b.trainHW = (b.trainHW+2*pad-k)/stride + 1
 	}
-	b.latC = outFull
+	b.latC = outLat
 	b.latHW = fo
+	b.fullC = outFull
 }
 
 // dwconv appends a depthwise Conv→BN.

@@ -1,0 +1,85 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"pasnet/internal/dataset"
+	"pasnet/internal/hwmodel"
+	"pasnet/internal/models"
+)
+
+// TestSearchSurvivesDegenerateLUT runs a short search against a LUT whose
+// every entry is degenerate — zeros (legitimately produced by calibration
+// for local ops), negatives and NaNs (corruption artifacts). The latency
+// regularizer must read all of them as 0: no NaN may reach the softmax,
+// the α parameters, or the result latency.
+func TestSearchSurvivesDegenerateLUT(t *testing.T) {
+	cfg := models.CIFARConfig(0.0625, 7)
+	cfg.InputHW = 8
+	cfg.NumClasses = 4
+
+	// Materialize every key the supernet will look up, then poison them.
+	seedSn, err := BuildSupernet("resnet18", cfg, hwmodel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lut := seedSn.LUT
+	lut.Source = "degenerate/test"
+	i := 0
+	for key := range lut.Entries {
+		var v float64
+		switch i % 3 {
+		case 0:
+			v = 0
+		case 1:
+			v = -1e-3
+		case 2:
+			v = math.NaN()
+		}
+		lut.Entries[key] = hwmodel.Cost{CompSec: v, CommSec: v, TotalSec: v}
+		i++
+	}
+
+	opts := DefaultOptions("resnet18", 1.0)
+	opts.ModelCfg = cfg
+	opts.LUT = lut
+	opts.Steps = 4
+	opts.BatchSize = 8
+	d := dataset.Synthetic(dataset.SynthConfig{
+		N: 32, Classes: 4, C: 3, HW: 8, LatentDim: 8, TeacherHidden: 16,
+		TeacherDepth: 2, Noise: 0.1, Seed: 9,
+	})
+	res, err := Search(opts, d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Supernet.Mixed {
+		for k, l := range m.Lats {
+			if math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
+				t.Fatalf("slot %d candidate %d latency %v not sanitized", m.Slot.ID, k, l)
+			}
+		}
+		for k, th := range m.Theta() {
+			if math.IsNaN(th) {
+				t.Fatalf("slot %d theta[%d] is NaN", m.Slot.ID, k)
+			}
+		}
+		for _, a := range m.Alpha.W.Data {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				t.Fatalf("slot %d alpha %v is not finite", m.Slot.ID, a)
+			}
+		}
+	}
+	for step, h := range res.History {
+		if math.IsNaN(h.TrainLoss) || math.IsNaN(h.ValLoss) || math.IsNaN(h.ExpectedLatencySec) {
+			t.Fatalf("step %d history has NaN: %+v", step, h)
+		}
+	}
+	if math.IsNaN(res.LatencySec) || res.LatencySec < 0 {
+		t.Fatalf("result latency %v, want finite non-negative", res.LatencySec)
+	}
+	if res.LatencySource != "degenerate/test" {
+		t.Fatalf("latency source %q, want the LUT's label", res.LatencySource)
+	}
+}

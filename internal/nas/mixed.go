@@ -33,10 +33,19 @@ type MixedOp struct {
 	ths  []float64
 }
 
-// newMixedOp assembles a gated operator over candidates.
+// newMixedOp assembles a gated operator over candidates. Candidate
+// latencies are sanitized here as a second line of defense behind the
+// supernet builder: a NaN, infinite or negative entry would poison the
+// latency gradient and, through Adam's running moments, NaN the softmax
+// for the rest of the search — zero (a free op) is the only safe reading.
 func newMixedOp(slot models.Slot, cands []nn.Layer, kinds []hwmodel.OpKind, lats []float64) *MixedOp {
 	a := nn.NewParam(fmt.Sprintf("alpha.s%d", slot.ID), len(cands))
 	a.Arch = true
+	for k, l := range lats {
+		if math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
+			lats[k] = 0
+		}
+	}
 	return &MixedOp{Slot: slot, Alpha: a, Cands: cands, Kinds: kinds, Lats: lats}
 }
 

@@ -19,6 +19,10 @@ type Options struct {
 	ModelCfg models.Config
 	// HW is the hardware model behind the latency LUT.
 	HW hwmodel.Config
+	// LUT, when set, prices the latency regularizer (and the result's
+	// latency) from this table — typically a calibrated one loaded from a
+	// PASLUT artifact — instead of an analytic table built from HW.
+	LUT *hwmodel.LUT
 	// Lambda is the latency penalty λ in ζ = ζCE + λ·Lat(α). Latency is
 	// in seconds, so λ has units 1/s.
 	Lambda float64
@@ -69,8 +73,12 @@ type Result struct {
 	// Derived is the rebuilt discrete model (trainable, freshly
 	// initialized with STPAI at poly slots).
 	Derived *models.Model
-	// LatencySec is the modelled PI latency of the derived model.
+	// LatencySec is the modelled PI latency of the derived model, priced
+	// from the same table that drove the search.
 	LatencySec float64
+	// LatencySource labels the table that produced LatencySec —
+	// hwmodel.AnalyticSource, or the calibration label of a loaded LUT.
+	LatencySource string
 	// ReLUCount is the derived model's ReLU evaluations per inference.
 	ReLUCount int
 	// History records (trainLoss, expectedLatency) per step.
@@ -91,7 +99,11 @@ func Search(opts Options, train, val *dataset.Dataset) (*Result, error) {
 	if opts.Xi == 0 {
 		opts.Xi = opts.LRWeights
 	}
-	sn, err := BuildSupernet(opts.Backbone, opts.ModelCfg, opts.HW)
+	lut := opts.LUT
+	if lut == nil {
+		lut = hwmodel.NewLUT(opts.HW)
+	}
+	sn, err := BuildSupernetLUT(opts.Backbone, opts.ModelCfg, lut)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +144,10 @@ func Search(opts Options, train, val *dataset.Dataset) (*Result, error) {
 		return nil, err
 	}
 	res.Derived = derived
-	res.LatencySec = derived.Cost(opts.HW).TotalSec
+	for _, op := range derived.Ops {
+		res.LatencySec += safeLat(lut.Cost(op))
+	}
+	res.LatencySource = lut.Source
 	res.ReLUCount = derived.ReLUCount()
 	return res, nil
 }

@@ -2,6 +2,7 @@ package nas
 
 import (
 	"fmt"
+	"math"
 
 	"pasnet/internal/hwmodel"
 	"pasnet/internal/models"
@@ -21,16 +22,37 @@ type Supernet struct {
 	// FixedLatencySec is the latency of the non-gated operators (convs,
 	// stem pools, FC, residual adds).
 	FixedLatencySec float64
-	// HW is the hardware model used for the LUT.
+	// HW is the hardware model behind the LUT's analytic fallback.
 	HW hwmodel.Config
+	// LUT is the latency table the gates were priced from (analytic or
+	// calibrated).
+	LUT *hwmodel.LUT
 }
 
-// BuildSupernet constructs the gated network for a backbone. The model
-// configuration's Act/Pool defaults are ignored at slots (gates replace
-// them); everything else (width, input size, seed) applies.
+// safeLat extracts a latency the regularizer can consume: degenerate
+// values (NaN, ±Inf, negative) collapse to 0 — a calibrated table can
+// legitimately hold ~0 for local ops, and anything below that is a
+// measurement artifact that must not blow up the latency gradient.
+func safeLat(c hwmodel.Cost) float64 {
+	if math.IsNaN(c.TotalSec) || math.IsInf(c.TotalSec, 0) || c.TotalSec < 0 {
+		return 0
+	}
+	return c.TotalSec
+}
+
+// BuildSupernet constructs the gated network for a backbone against a
+// fresh analytic latency table. The model configuration's Act/Pool
+// defaults are ignored at slots (gates replace them); everything else
+// (width, input size, seed) applies.
 func BuildSupernet(backbone string, cfg models.Config, hw hwmodel.Config) (*Supernet, error) {
-	lut := hwmodel.NewLUT(hw)
-	sn := &Supernet{Backbone: backbone, HW: hw}
+	return BuildSupernetLUT(backbone, cfg, hwmodel.NewLUT(hw))
+}
+
+// BuildSupernetLUT is BuildSupernet with an explicit latency table, the
+// hook that lets a calibrated LUT (internal/autodeploy) price the gates
+// instead of the closed-form hardware model.
+func BuildSupernetLUT(backbone string, cfg models.Config, lut *hwmodel.LUT) (*Supernet, error) {
+	sn := &Supernet{Backbone: backbone, HW: lut.Config, LUT: lut}
 	cfg.ActFactory = func(s models.Slot, nx int) nn.Layer {
 		cands := []nn.Layer{
 			nn.NewReLU(),
@@ -38,8 +60,8 @@ func BuildSupernet(backbone string, cfg models.Config, hw hwmodel.Config) (*Supe
 		}
 		kinds := []hwmodel.OpKind{hwmodel.OpReLU, hwmodel.OpX2Act}
 		lats := []float64{
-			lut.Cost(hwmodel.NetOp{Kind: hwmodel.OpReLU, Shape: s.Shape}).TotalSec,
-			lut.Cost(hwmodel.NetOp{Kind: hwmodel.OpX2Act, Shape: s.Shape}).TotalSec,
+			safeLat(lut.Cost(hwmodel.NetOp{Kind: hwmodel.OpReLU, Shape: s.Shape})),
+			safeLat(lut.Cost(hwmodel.NetOp{Kind: hwmodel.OpX2Act, Shape: s.Shape})),
 		}
 		m := newMixedOp(s, cands, kinds, lats)
 		sn.Mixed = append(sn.Mixed, m)
@@ -52,8 +74,8 @@ func BuildSupernet(backbone string, cfg models.Config, hw hwmodel.Config) (*Supe
 		}
 		kinds := []hwmodel.OpKind{hwmodel.OpMaxPool, hwmodel.OpAvgPool}
 		lats := []float64{
-			lut.Cost(hwmodel.NetOp{Kind: hwmodel.OpMaxPool, Shape: s.Shape}).TotalSec,
-			lut.Cost(hwmodel.NetOp{Kind: hwmodel.OpAvgPool, Shape: s.Shape}).TotalSec,
+			safeLat(lut.Cost(hwmodel.NetOp{Kind: hwmodel.OpMaxPool, Shape: s.Shape})),
+			safeLat(lut.Cost(hwmodel.NetOp{Kind: hwmodel.OpAvgPool, Shape: s.Shape})),
 		}
 		m := newMixedOp(s, cands, kinds, lats)
 		sn.Mixed = append(sn.Mixed, m)
@@ -71,7 +93,7 @@ func BuildSupernet(backbone string, cfg models.Config, hw hwmodel.Config) (*Supe
 	}
 	for i, op := range model.Ops {
 		if !slotIdx[i] {
-			sn.FixedLatencySec += lut.Cost(op).TotalSec
+			sn.FixedLatencySec += safeLat(lut.Cost(op))
 		}
 	}
 	return sn, nil

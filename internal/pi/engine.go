@@ -2,7 +2,9 @@ package pi
 
 import (
 	"fmt"
+	"time"
 
+	"pasnet/internal/hwmodel"
 	"pasnet/internal/mpc"
 )
 
@@ -26,6 +28,10 @@ type Engine struct {
 	// fixedWs holds the per-weight opened F = W−b, parallel to weights,
 	// when fixedMasks is on.
 	fixedWs []*mpc.FixedWeight
+	// recordOps enables per-op wall-time tracing into timings; the
+	// measurements feed latency-LUT calibration (internal/autodeploy).
+	recordOps bool
+	timings   []OpTiming
 }
 
 // NewEngine wraps a program.
@@ -37,6 +43,19 @@ func (e *Engine) SetFixedMasks(on bool) { e.fixedMasks = on }
 
 // FixedMasks reports the engine's weight-mask mode.
 func (e *Engine) FixedMasks() bool { return e.fixedMasks }
+
+// SetRecordOps toggles per-op wall-time tracing. Recording is local to
+// this engine: the peer needs no matching toggle and the protocol stream
+// is unchanged.
+func (e *Engine) SetRecordOps(on bool) { e.recordOps = on }
+
+// TakeOpTimings returns the timings accumulated since the last call and
+// resets the buffer.
+func (e *Engine) TakeOpTimings() []OpTiming {
+	t := e.timings
+	e.timings = nil
+	return t
+}
 
 // Setup secret-shares the model parameters from party 0 (the model
 // vendor). Both parties must call it before Infer. With fixed masks on it
@@ -125,6 +144,15 @@ func (e *Engine) run(prog *Program, x mpc.Share, widx *int) (mpc.Share, error) {
 	var err error
 	for i := range prog.Ops {
 		op := &prog.Ops[i]
+		// Residuals time only their Add below (the branch ops trace
+		// themselves through the recursion); flatten is a free reshape.
+		trace := e.recordOps && op.kind != opResidual && op.kind != opFlatten
+		var inShape []int
+		var opStart time.Time
+		if trace {
+			inShape = x.Shape
+			opStart = time.Now()
+		}
 		switch op.kind {
 		case opConv, opDWConv:
 			if len(x.Shape) != 4 {
@@ -213,9 +241,29 @@ func (e *Engine) run(prog *Program, x mpc.Share, widx *int) (mpc.Share, error) {
 					return mpc.Share{}, err
 				}
 			}
+			addStart := time.Now()
 			x = p.Add(body, short)
+			if e.recordOps {
+				e.timings = append(e.timings, OpTiming{
+					Name:    op.name,
+					Kind:    hwmodel.OpAdd,
+					Shape:   hwmodel.OpShape{FI: x.Shape[2], IC: x.Shape[1]},
+					Rows:    x.Shape[0],
+					Seconds: time.Since(addStart).Seconds(),
+				})
+			}
 		default:
 			return mpc.Share{}, fmt.Errorf("pi: unknown op kind %d", op.kind)
+		}
+		if trace {
+			kind, shape := traceOp(op, inShape)
+			e.timings = append(e.timings, OpTiming{
+				Name:    op.name,
+				Kind:    kind,
+				Shape:   shape,
+				Rows:    inShape[0],
+				Seconds: time.Since(opStart).Seconds(),
+			})
 		}
 	}
 	return x, nil

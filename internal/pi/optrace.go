@@ -1,0 +1,72 @@
+package pi
+
+import (
+	"pasnet/internal/hwmodel"
+)
+
+// OpTiming is one executed operator's measured wall time, labelled with the
+// hwmodel geometry it ran at so calibration can key measurements into the
+// latency LUT. The measurement is taken on one party while both run in
+// lockstep, so it includes the protocol's round-trip waits — the quantity
+// the 2PC latency model predicts — and it covers all Rows batch rows of
+// the flush it ran in (divide by Rows to amortize per query).
+type OpTiming struct {
+	// Name is the compiled op's label ("conv3", "relu", ...).
+	Name string
+	// Kind and Shape are the operator identity at executed (training)
+	// scale; NetOp{Kind, Shape}.Key() is the LUT key this measurement
+	// calibrates.
+	Kind  hwmodel.OpKind
+	Shape hwmodel.OpShape
+	// Rows is the batch row count the op processed.
+	Rows int
+	// Seconds is the measured wall time for the whole batch.
+	Seconds float64
+}
+
+// Key returns the latency-LUT key this timing calibrates.
+func (t OpTiming) Key() string {
+	return hwmodel.NetOp{Kind: t.Kind, Shape: t.Shape}.Key()
+}
+
+// traceOp derives the hwmodel identity of a compiled op from its input
+// share geometry, mirroring how models.builder records the op list (so a
+// timing's Key() matches the corresponding NetOp's). Flatten and residual
+// wrappers have no hwmodel identity and are handled by the engine directly.
+func traceOp(op *progOp, inShape []int) (hwmodel.OpKind, hwmodel.OpShape) {
+	switch op.kind {
+	case opConv, opDWConv:
+		fi, ic := inShape[2], inShape[1]
+		k, stride, pad := op.convSpec.KH, op.convSpec.Stride, op.convSpec.Pad
+		fo := (fi+2*pad-k)/stride + 1
+		shape := hwmodel.OpShape{FI: fi, IC: ic, OC: op.convSpec.OutC, K: k, Stride: stride, FO: fo}
+		if op.kind == opDWConv {
+			shape.OC = ic
+			shape.Groups = ic
+		}
+		return hwmodel.OpConv, shape
+	case opLinear:
+		return hwmodel.OpFC, hwmodel.OpShape{IC: inShape[1], OC: op.weightShape[0]}
+	case opReLU:
+		return hwmodel.OpReLU, actShape(inShape)
+	case opX2Act:
+		return hwmodel.OpX2Act, actShape(inShape)
+	case opMaxPool:
+		return hwmodel.OpMaxPool, hwmodel.OpShape{FI: inShape[2], IC: inShape[1], K: op.k, Stride: op.stride}
+	case opAvgPool:
+		return hwmodel.OpAvgPool, hwmodel.OpShape{FI: inShape[2], IC: inShape[1], K: op.k, Stride: op.stride}
+	case opGlobalAvgPool:
+		return hwmodel.OpAvgPool, hwmodel.OpShape{FI: inShape[2], IC: inShape[1], K: inShape[2], Stride: 1}
+	}
+	return hwmodel.OpIdentity, hwmodel.OpShape{}
+}
+
+// actShape maps an activation input to its op geometry. Activations are 4D
+// in every backbone; the 2D fallback (post-flatten) records FI=1 so
+// Elems() still counts the vector length.
+func actShape(inShape []int) hwmodel.OpShape {
+	if len(inShape) == 4 {
+		return hwmodel.OpShape{FI: inShape[2], IC: inShape[1]}
+	}
+	return hwmodel.OpShape{FI: 1, IC: inShape[len(inShape)-1]}
+}

@@ -1,0 +1,65 @@
+package pi
+
+import (
+	"sort"
+	"testing"
+
+	"pasnet/internal/hwmodel"
+	"pasnet/internal/models"
+	"pasnet/internal/tensor"
+)
+
+// opKeys returns the sorted LUT keys of an op list, dropping identity ops
+// (culled activations compile to nothing, so no timing can exist for them).
+func opKeys(ops []hwmodel.NetOp) []string {
+	var keys []string
+	for _, op := range ops {
+		if op.Kind == hwmodel.OpIdentity {
+			continue
+		}
+		keys = append(keys, op.Key())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestRecordOpsMatchesTrainScaleOps pins the calibration contract: with
+// Config.TrainScaleOps, the recorded op list and the executed per-op
+// timing trace name exactly the same LUT keys, so measured wall times can
+// be written into the table the NAS then reads.
+func TestRecordOpsMatchesTrainScaleOps(t *testing.T) {
+	for _, backbone := range []string{"resnet18", "mobilenetv2"} {
+		cfg := models.CIFARConfig(0.0625, 11)
+		cfg.InputHW = 8
+		cfg.NumClasses = 4
+		cfg.TrainScaleOps = true
+		m, err := models.ByName(backbone, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunOpt(m, hwmodel.DefaultConfig(), tensor.New(2, 3, 8, 8), 5, RunOptions{RecordOps: true})
+		if err != nil {
+			t.Fatalf("%s: %v", backbone, err)
+		}
+		var traced []string
+		for _, tm := range res.OpTimings {
+			if tm.Rows != 2 {
+				t.Fatalf("%s: op %s saw %d rows, want 2", backbone, tm.Name, tm.Rows)
+			}
+			if tm.Seconds < 0 {
+				t.Fatalf("%s: op %s has negative wall time", backbone, tm.Name)
+			}
+			traced = append(traced, tm.Key())
+		}
+		sort.Strings(traced)
+		want := opKeys(m.Ops)
+		if len(traced) != len(want) {
+			t.Fatalf("%s: traced %d ops, op list has %d", backbone, len(traced), len(want))
+		}
+		for i := range want {
+			if traced[i] != want[i] {
+				t.Fatalf("%s: traced key %q != recorded op key %q", backbone, traced[i], want[i])
+			}
+		}
+	}
+}

@@ -56,6 +56,11 @@ type Result struct {
 	// Modeled is the FPGA hardware model's cost for the network at paper
 	// scale (from models.Model.Ops), the basis of the Table I columns.
 	Modeled hwmodel.Cost
+	// OpTimings is party 1's per-op wall-time trace, present when
+	// RunOptions.RecordOps is set. Party 1 runs in lockstep with party 0,
+	// so each entry includes the protocol waits — the measured analogue of
+	// the hwmodel per-op cost, used for latency-LUT calibration.
+	OpTimings []OpTiming
 }
 
 // RunOptions selects execution-phase behavior for Run/RunBatch variants.
@@ -70,6 +75,9 @@ type RunOptions struct {
 	// SessionOptions.FixedMasks): weight-side openings collapse into the
 	// one-time setup, and each flush opens only the activation side.
 	FixedMasks bool
+	// RecordOps captures party 1's per-op wall times into
+	// Result.OpTimings (latency-LUT calibration input).
+	RecordOps bool
 }
 
 // Run executes a full private inference of a trained model on input x
@@ -147,6 +155,7 @@ func runPacked(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, counts []in
 	}
 	var setupBytes int64
 	outputs := [2][]float64{}
+	engines := [2]*Engine{}
 	errs := [2]error{}
 	var setupMu sync.Mutex
 	// The online clock starts only after both parties finish the one-time
@@ -170,6 +179,8 @@ func runPacked(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, counts []in
 			}
 			eng := NewEngine(prog)
 			eng.SetFixedMasks(opt.FixedMasks)
+			eng.SetRecordOps(opt.RecordOps && i == 1)
+			engines[i] = eng
 			err := eng.Setup(p)
 			setupMu.Lock()
 			setupBytes += p.Conn.Stats().BytesSent
@@ -226,6 +237,9 @@ func runPacked(m *models.Model, hw hwmodel.Config, x *tensor.Tensor, counts []in
 		OfflineSeconds: offlineSeconds,
 		Preprocessed:   opt.Preprocess,
 		Modeled:        hwmodel.NetworkCost(hw, m.Ops),
+	}
+	if opt.RecordOps {
+		res.OpTimings = engines[1].TakeOpTimings()
 	}
 	if batch > 0 {
 		res.OnlineBytesPerQuery = res.OnlineBytes / int64(batch)
