@@ -18,6 +18,7 @@
 //	pasnet-bench -exhibit overload -benchjson . # admission control under saturating load → BENCH_overload.json
 //	pasnet-bench -exhibit maskreuse -benchjson . # fixed weight-mask amortization → BENCH_maskreuse.json
 //	pasnet-bench -exhibit autodeploy -benchjson . # calibrated NAS→deploy A/B → BENCH_autodeploy.json
+//	pasnet-bench -exhibit obs -benchjson .      # telemetry rounds/bytes + overhead → BENCH_obs.json
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation|kernel|pibatch|offline|shard|dispatch|overload|maskreuse|autodeploy")
+	exhibit := flag.String("exhibit", "fig1", "exhibit to regenerate: fig1|fig5a|fig5b|fig6|fig7|table1|ablation|kernel|pibatch|offline|shard|dispatch|overload|maskreuse|autodeploy|obs")
 	profile := flag.String("profile", "quick", "experiment scale: quick|full")
 	accuracy := flag.Bool("accuracy", false, "table1: also train synthetic-accuracy column")
 	benchJSON := flag.String("benchjson", "", "kernel/pibatch/offline: directory to write the BENCH_*.json file into (empty: stdout only)")
@@ -138,6 +139,8 @@ func main() {
 		exitOn(maskreuseBench(*benchJSON))
 	case "autodeploy":
 		exitOn(autodeployBench(*benchJSON))
+	case "obs":
+		exitOn(obsBench(*benchJSON))
 	case "ablation":
 		rows, err := experiments.DARTSOrderAblation(p, hw)
 		exitOn(err)

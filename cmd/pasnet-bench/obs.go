@@ -1,0 +1,336 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pasnet/internal/dataset"
+	"pasnet/internal/fixed"
+	"pasnet/internal/kernel"
+	"pasnet/internal/models"
+	"pasnet/internal/mpc"
+	"pasnet/internal/nas"
+	"pasnet/internal/obs"
+	"pasnet/internal/pi"
+	"pasnet/internal/tensor"
+	"pasnet/internal/transport"
+)
+
+// obsResult is one (program class, batch size) cell of the telemetry
+// trajectory: the protocol rounds and wire bytes the obs layer accounted
+// per query, and the instrumentation overhead against an uninstrumented
+// session serving the identical flush sequence.
+type obsResult struct {
+	Class   string `json:"class"`
+	K       int    `json:"k"`
+	Flushes int    `json:"flushes"`
+	// RoundsPerFlush is the send→recv direction-flip count per flush —
+	// the paper's round metric, independent of batch size by design.
+	RoundsPerFlush float64 `json:"rounds_per_flush"`
+	// Sent/Recv bytes are party 1's view of the online phase (recv
+	// counts mirror the vendor's sends, so the sum is the whole link).
+	SentBytesPerQuery int64 `json:"sent_bytes_per_query"`
+	RecvBytesPerQuery int64 `json:"recv_bytes_per_query"`
+	// Per-kind splits drop zero kinds ('u32' for the 64-bit ring, etc.).
+	SentBytesPerQueryByKind map[string]int64 `json:"sent_bytes_per_query_by_kind"`
+	RecvBytesPerQueryByKind map[string]int64 `json:"recv_bytes_per_query_by_kind"`
+	// Online ms/query with no registry at all vs the fully instrumented
+	// stack (wire counters + flush spans + per-op feed sampling every
+	// flush); both take the fastest of Reps repetitions.
+	PlainOnlineMSPerQuery float64 `json:"plain_online_ms_per_query"`
+	ObsOnlineMSPerQuery   float64 `json:"obs_online_ms_per_query"`
+	// OverheadFrac is obs/plain − 1 on those best-of times.
+	OverheadFrac float64 `json:"overhead_frac"`
+	Reps         int     `json:"reps"`
+}
+
+// obsReport is the BENCH_obs.json schema.
+type obsReport struct {
+	GeneratedUnix int64 `json:"generated_unix"`
+	Workers       int   `json:"workers"`
+	// SampleEvery is the per-op feed cadence the instrumented runs used
+	// (1 = every flush pays the tracing clock reads — the worst case).
+	SampleEvery int         `json:"sample_every"`
+	Results     []obsResult `json:"results"`
+	// OverheadFrac is the latency-weighted aggregate across the whole
+	// grid — Σ(instrumented best ms) / Σ(plain best ms) − 1. Per-cell
+	// overheads on millisecond-scale cells scatter several percent either
+	// way from scheduler noise; the aggregate is what the <2% acceptance
+	// criterion (OverheadUnder2Pct) is judged on.
+	OverheadFrac      float64 `json:"overhead_frac"`
+	OverheadUnder2Pct bool    `json:"overhead_under_2pct"`
+}
+
+// obsWireTotals is one direction-and-kind read of a session registry's
+// wire counters.
+type obsWireTotals struct {
+	sent, recv map[string]int64
+	sentTotal  int64
+	recvTotal  int64
+	rounds     int64
+}
+
+// readObsWire reads the per-kind wire counters InstrumentConn registered
+// for the class label. Registry lookups dedup, so this returns the very
+// counters the serving WireConn increments.
+func readObsWire(reg *obs.Registry, class string) obsWireTotals {
+	t := obsWireTotals{sent: map[string]int64{}, recv: map[string]int64{}}
+	for _, k := range []string{"u32", "u64", "bytes", "shape", "model", "err"} {
+		s := reg.Counter("pasnet_wire_sent_bytes_total", "class", class, "kind", k).Load()
+		r := reg.Counter("pasnet_wire_recv_bytes_total", "class", class, "kind", k).Load()
+		t.sent[k], t.recv[k] = s, r
+		t.sentTotal += s
+		t.recvTotal += r
+	}
+	t.rounds = reg.Counter("pasnet_wire_rounds_total", "class", class).Load()
+	return t
+}
+
+// sub returns the online delta of two wire reads.
+func (t obsWireTotals) sub(base obsWireTotals) obsWireTotals {
+	out := obsWireTotals{
+		sent: map[string]int64{}, recv: map[string]int64{},
+		sentTotal: t.sentTotal - base.sentTotal,
+		recvTotal: t.recvTotal - base.recvTotal,
+		rounds:    t.rounds - base.rounds,
+	}
+	for k := range t.sent {
+		out.sent[k] = t.sent[k] - base.sent[k]
+		out.recv[k] = t.recv[k] - base.recv[k]
+	}
+	return out
+}
+
+// obsSession drives one multi-flush session pair over an in-process pipe.
+// With a registry, party 1's link is wrapped in an obs.WireConn and the
+// session publishes flush spans plus the per-op feed sampled every flush
+// — the full instrumented serving stack; with reg == nil it is the plain
+// stack the overhead comparison baselines against. Returns the online
+// wall-clock of the flush sequence, the online wire deltas (zero-valued
+// when uninstrumented), and the last flush's logits.
+func obsSession(m *models.Model, x *tensor.Tensor, flushes int, seed uint64, reg *obs.Registry, class string) (onlineSec float64, online obsWireTotals, logits []float64, err error) {
+	c0, c1 := transport.Pipe()
+	codec := fixed.Default64()
+	var wg sync.WaitGroup
+	var serveErr error
+	setupDone := make(chan struct{})
+	goServe := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p0 := mpc.NewParty(0, c0, seed, seed*31+1, codec)
+		sess0, err := pi.NewSession(p0, m, []int{0, 3, benchDemoHW, benchDemoHW})
+		if err != nil {
+			serveErr = err
+			close(setupDone)
+			return
+		}
+		close(setupDone)
+		<-goServe
+		serveErr = sess0.Serve()
+	}()
+	var conn transport.Conn = c1
+	if reg != nil {
+		conn = obs.InstrumentConn(c1, reg, "class", class)
+	}
+	p1 := mpc.NewParty(1, conn, seed, seed*31+2, codec)
+	sess1, err := pi.NewSession(p1, m, nil)
+	if err != nil {
+		return 0, online, nil, err
+	}
+	if reg != nil {
+		sess1.Instrument(reg, 1, "class", class)
+	}
+	<-setupDone
+	if serveErr != nil {
+		return 0, online, nil, serveErr
+	}
+	var base obsWireTotals
+	if reg != nil {
+		base = readObsWire(reg, class)
+	}
+	close(goServe)
+	start := time.Now()
+	for f := 0; f < flushes; f++ {
+		if logits, err = sess1.Query(x); err != nil {
+			return 0, online, nil, fmt.Errorf("flush %d: %w", f, err)
+		}
+	}
+	onlineSec = time.Since(start).Seconds()
+	if err := sess1.Close(); err != nil {
+		return 0, online, nil, err
+	}
+	wg.Wait()
+	if serveErr != nil {
+		return 0, online, nil, serveErr
+	}
+	if reg != nil {
+		online = readObsWire(reg, class).sub(base)
+	}
+	return onlineSec, online, logits, nil
+}
+
+// trainObsClass deterministically trains the demo backbone in one of the
+// paper's program classes: all-ReLU/max-pool, all-X²/avg-pool, or the
+// per-slot mixture a searched PASNet actually deploys.
+func trainObsClass(class string) (*models.Model, *dataset.Dataset, error) {
+	cfg := models.CIFARConfig(0.0625, 3)
+	cfg.InputHW = benchDemoHW
+	cfg.NumClasses = 4
+	switch class {
+	case "relu-max":
+		cfg.Act = models.ActReLU
+		cfg.Pool = models.PoolMax
+	case "x2-avg":
+		cfg.Act = models.ActX2
+		cfg.Pool = models.PoolAvg
+	case "mixed":
+		cfg.ActAt = func(slot int) models.ActChoice {
+			if slot%2 == 0 {
+				return models.ActX2
+			}
+			return models.ActReLU
+		}
+		cfg.PoolAt = func(slot int) models.PoolChoice {
+			if slot%2 == 0 {
+				return models.PoolAvg
+			}
+			return models.PoolMax
+		}
+	default:
+		return nil, nil, fmt.Errorf("obs: unknown program class %q", class)
+	}
+	m, err := models.ByName(benchBackbone, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := dataset.Synthetic(dataset.SynthConfig{
+		N: 64, Classes: 4, C: 3, HW: benchDemoHW, LatentDim: 8,
+		TeacherHidden: 16, TeacherDepth: 2, Noise: 0.1, Seed: 9,
+	})
+	opts := nas.DefaultTrainOptions()
+	opts.Steps = 20
+	opts.BatchSize = 8
+	if _, err := nas.TrainModel(m, d, d, opts); err != nil {
+		return nil, nil, err
+	}
+	return m, d, nil
+}
+
+// obsBench measures what the telemetry layer sees and what it costs: for
+// each program class (ReLU/max, X²/avg, mixed) at K=1, 4, 16 it serves a
+// multi-flush session pair with the full instrumented stack — wire
+// counters, flush spans, per-op feed sampling every flush — records the
+// protocol rounds and per-kind wire bytes the registry accounted, and
+// compares online ms/query against an identical uninstrumented run. The
+// two runs share seeds, so the logits must match bit-exactly:
+// observation may never perturb the protocol. Bytes and rounds are
+// deterministic; times take the fastest repetition so a noisy runner
+// cannot manufacture a phantom overhead.
+func obsBench(jsonDir string) error {
+	if err := checkBenchDir(jsonDir); err != nil {
+		return err
+	}
+	const flushes = 4
+	rep := obsReport{
+		GeneratedUnix: time.Now().Unix(),
+		Workers:       kernel.Workers(),
+		SampleEvery:   1,
+	}
+	fmt.Printf("Telemetry accounting + overhead, %d flushes/session (workers=%d, %s):\n",
+		flushes, kernel.Workers(), benchBackbone)
+	fmt.Printf("  %-9s %4s %8s %14s %14s %12s %12s %9s\n",
+		"class", "K", "rounds/f", "sent B/q", "recv B/q", "plain ms/q", "obs ms/q", "overhead")
+	for _, class := range []string{"relu-max", "x2-avg", "mixed"} {
+		m, d, err := trainObsClass(class)
+		if err != nil {
+			return err
+		}
+		for _, k := range []int{1, 4, 16} {
+			idx := make([]int, k)
+			for i := range idx {
+				idx[i] = i % d.Len()
+			}
+			x, _ := d.Batch(idx)
+			reps := 2 + 8/k
+			res := obsResult{Class: class, K: k, Flushes: flushes, Reps: reps}
+			for r := 0; r < reps; r++ {
+				seed := uint64(41 + 17*r)
+				plainSec, _, plainLogits, err := obsSession(m, x, flushes, seed, nil, class)
+				if err != nil {
+					return fmt.Errorf("obs %s K=%d plain: %w", class, k, err)
+				}
+				reg := obs.New()
+				obsSec, wire, obsLogits, err := obsSession(m, x, flushes, seed, reg, class)
+				if err != nil {
+					return fmt.Errorf("obs %s K=%d instrumented: %w", class, k, err)
+				}
+				// Instrumentation is pure observation: same seeds, same
+				// protocol, bit-identical logits — anything else means the
+				// wrapper changed what it was supposed to watch.
+				if len(plainLogits) != len(obsLogits) {
+					return fmt.Errorf("obs %s K=%d: logit count diverged under instrumentation", class, k)
+				}
+				for i := range plainLogits {
+					if plainLogits[i] != obsLogits[i] {
+						return fmt.Errorf("obs %s K=%d: logit %d diverged under instrumentation (%g vs %g)", class, k, i, plainLogits[i], obsLogits[i])
+					}
+				}
+				pMS := plainSec * 1e3 / float64(flushes*k)
+				oMS := obsSec * 1e3 / float64(flushes*k)
+				if res.PlainOnlineMSPerQuery == 0 || pMS < res.PlainOnlineMSPerQuery {
+					res.PlainOnlineMSPerQuery = pMS
+				}
+				if res.ObsOnlineMSPerQuery == 0 || oMS < res.ObsOnlineMSPerQuery {
+					res.ObsOnlineMSPerQuery = oMS
+				}
+				res.RoundsPerFlush = float64(wire.rounds) / float64(flushes)
+				res.SentBytesPerQuery = wire.sentTotal / int64(flushes*k)
+				res.RecvBytesPerQuery = wire.recvTotal / int64(flushes*k)
+				res.SentBytesPerQueryByKind = map[string]int64{}
+				res.RecvBytesPerQueryByKind = map[string]int64{}
+				for kind, v := range wire.sent {
+					if v > 0 {
+						res.SentBytesPerQueryByKind[kind] = v / int64(flushes*k)
+					}
+				}
+				for kind, v := range wire.recv {
+					if v > 0 {
+						res.RecvBytesPerQueryByKind[kind] = v / int64(flushes*k)
+					}
+				}
+			}
+			res.OverheadFrac = res.ObsOnlineMSPerQuery/res.PlainOnlineMSPerQuery - 1
+			rep.Results = append(rep.Results, res)
+			fmt.Printf("  %-9s %4d %8.1f %14d %14d %12.3f %12.3f %8.2f%%\n",
+				class, k, res.RoundsPerFlush, res.SentBytesPerQuery, res.RecvBytesPerQuery,
+				res.PlainOnlineMSPerQuery, res.ObsOnlineMSPerQuery, 100*res.OverheadFrac)
+		}
+	}
+	var plainTotal, obsTotal float64
+	for _, res := range rep.Results {
+		plainTotal += res.PlainOnlineMSPerQuery
+		obsTotal += res.ObsOnlineMSPerQuery
+	}
+	rep.OverheadFrac = obsTotal/plainTotal - 1
+	rep.OverheadUnder2Pct = rep.OverheadFrac < 0.02
+	fmt.Printf("\naggregate instrumentation overhead: %.2f%% (criterion <2%%: %v)\n",
+		100*rep.OverheadFrac, rep.OverheadUnder2Pct)
+
+	if jsonDir != "" {
+		path := filepath.Join(jsonDir, "BENCH_obs.json")
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", path)
+	}
+	return nil
+}

@@ -56,6 +56,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -70,6 +71,7 @@ import (
 	"pasnet/internal/models"
 	"pasnet/internal/mpc"
 	"pasnet/internal/nas"
+	"pasnet/internal/obs"
 	"pasnet/internal/pi"
 	"pasnet/internal/sched"
 	"pasnet/internal/tensor"
@@ -129,9 +131,15 @@ type config struct {
 	// reprovision enables the gateway's background store re-provisioner
 	// at this remaining-correlation budget floor (0: off).
 	reprovision int
-	// statusJSON dumps the gateway's shard status (including admission
-	// counters) as JSON to this file on SIGUSR1 and at shutdown.
+	// statusJSON dumps the gateway's unified status document — shard
+	// routing table plus the full metrics snapshot (wire/round counters,
+	// flush-phase histograms, event tail) — as JSON to this file on
+	// SIGUSR1 and at shutdown.
 	statusJSON string
+	// metricsAddr serves the gateway's observability over HTTP:
+	// Prometheus text at /metrics and the same unified status document
+	// -status-json writes at /status.json (empty: off).
+	metricsAddr string
 	// fixedMasks runs the fixed weight-mask protocol on every session and
 	// store: W−b opened once per (session, layer), flushes open only the
 	// activation side. All roles of a deployment must agree.
@@ -166,7 +174,8 @@ func main() {
 	flag.IntVar(&cfg.quota, "quota", 0, "gateway: max in-flight admitted queries per model; submissions over the quota are shed at admission with a descriptive error (0: unbounded)")
 	flag.IntVar(&cfg.queueCap, "queue-cap", 0, "party 1: bound the batcher's pending queue, shedding submissions over it; gateway: per-shard-lane queue bound (0: unbounded / the lane default)")
 	flag.IntVar(&cfg.reprovision, "reprovision", 0, "gateway: background store re-provisioning — build and swap in the next store generation once a shard's remaining preprocessed budget drops below this many correlations; the vendor must run -lifecycle to accept the handoff links (0: off)")
-	flag.StringVar(&cfg.statusJSON, "status-json", "", "gateway: dump shard status (admission/shed/deadline counters included) as JSON to this file on SIGUSR1 and at shutdown (empty: off)")
+	flag.StringVar(&cfg.statusJSON, "status-json", "", "gateway: dump the unified status document (shard table + full metrics snapshot + event tail) as JSON to this file on SIGUSR1 and at shutdown (empty: off)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "gateway: serve Prometheus text at /metrics and the unified status document at /status.json on this address (empty: off)")
 	flag.BoolVar(&cfg.fixedMasks, "fixedmasks", false, "all roles: fixed weight-mask protocol — open W−b once per session instead of per flush (preprocess, both computing parties and the gateway must agree)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
@@ -453,6 +462,12 @@ func runGateway(cfg config) error {
 	if err != nil {
 		return err
 	}
+	// One registry observes the whole gateway: wire accounting on every
+	// shard link, flush-phase spans and sampled per-op timings on every
+	// session, the dispatcher's admission/queue bookkeeping, and the
+	// lifecycle event ring. -metrics-addr and -status-json both export
+	// it, so the two views can never disagree.
+	obsReg := obs.New()
 	opts := gateway.RouterOptions{
 		Batch:         cfg.batch,
 		Window:        cfg.window,
@@ -460,6 +475,7 @@ func runGateway(cfg config) error {
 		QueueCap:      cfg.queueCap,
 		FlushDeadline: cfg.flushDeadline,
 		QueueTarget:   cfg.queueTarget,
+		Obs:           obsReg,
 		Dial:          func(gateway.ShardDesc) (transport.Conn, error) { return transport.Dial(cfg.connect) },
 	}
 	switch cfg.sched {
@@ -504,16 +520,30 @@ func runGateway(cfg config) error {
 	if cfg.budgetWarn > 0 {
 		go budgetMonitor(rt, cfg.budgetWarn, stopMonitor)
 	}
-	// -status-json: dump the live shard status on demand (SIGUSR1) and
-	// once more at shutdown, so operators can watch admission counters
-	// without scraping logs.
+	status := func() statusDoc {
+		return statusDoc{Shards: rt.Status(), Metrics: obsReg.Snapshot()}
+	}
+	// -metrics-addr: live HTTP export of the same registry the status
+	// file snapshots — Prometheus text at /metrics, the unified status
+	// document at /status.json.
+	if cfg.metricsAddr != "" {
+		msrv, err := serveMetrics(cfg.metricsAddr, obsReg, status)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Println("gateway: serving /metrics and /status.json on", cfg.metricsAddr)
+	}
+	// -status-json: dump the live unified status document on demand
+	// (SIGUSR1) and once more at shutdown, so operators can watch
+	// admission counters and wire accounting without scraping logs.
 	var sig chan os.Signal
 	if cfg.statusJSON != "" {
 		sig = make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGUSR1)
 		go func() {
 			for range sig {
-				if err := writeStatusJSON(cfg.statusJSON, rt.Status()); err != nil {
+				if err := writeStatusJSON(cfg.statusJSON, status()); err != nil {
 					fmt.Println("gateway: status dump:", err)
 				} else {
 					fmt.Println("gateway: status dumped to", cfg.statusJSON)
@@ -537,7 +567,7 @@ func runGateway(cfg config) error {
 	if cfg.statusJSON != "" {
 		signal.Stop(sig)
 		close(sig)
-		if err := writeStatusJSON(cfg.statusJSON, rt.Status()); err != nil {
+		if err := writeStatusJSON(cfg.statusJSON, status()); err != nil {
 			fmt.Println("gateway: final status dump:", err)
 		} else {
 			fmt.Println("gateway: final status dumped to", cfg.statusJSON)
@@ -573,10 +603,20 @@ func runGateway(cfg config) error {
 	return serveErr
 }
 
+// statusDoc is the gateway's unified status document: the shard routing
+// table plus the full metrics snapshot (wire/round counters, flush-phase
+// histograms, sched/admission series, event-ring tail) from the one
+// registry /metrics also exports — so the SIGUSR1 file, /status.json and
+// a Prometheus scrape can never disagree about what the fleet did.
+type statusDoc struct {
+	Shards  []gateway.ShardStatus `json:"shards"`
+	Metrics *obs.Snapshot         `json:"metrics"`
+}
+
 // writeStatusJSON publishes one status snapshot atomically (temp file +
 // rename), so a reader polling the path never sees a torn dump.
-func writeStatusJSON(path string, sts []gateway.ShardStatus) error {
-	data, err := json.MarshalIndent(sts, "", "  ")
+func writeStatusJSON(path string, doc statusDoc) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -585,6 +625,27 @@ func writeStatusJSON(path string, sts []gateway.ShardStatus) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// serveMetrics starts the observability HTTP server: Prometheus text at
+// /metrics, the unified status document at /status.json. The returned
+// server is closed at gateway shutdown.
+func serveMetrics(addr string, reg *obs.Registry, status func() statusDoc) (*http.Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.PromHandler())
+	mux.HandleFunc("/status.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(status())
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(l) }()
+	return srv, nil
 }
 
 // budgetMonitor polls the router's status and logs a re-provision warning

@@ -2,13 +2,16 @@
 // step: calibrate a per-operator latency table on the live 2PC transport,
 // search against it, train the winner, register it into a live gateway on
 // preprocessed shard stores, and serve queries — then show that the
-// calibrated table's end-to-end prediction matches what serving measured.
+// calibrated table's end-to-end prediction matches what serving measured,
+// and that the instrumented gateway's own telemetry harvests into the
+// next calibration without a dedicated probe run.
 package main
 
 import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"pasnet/internal/autodeploy"
 	"pasnet/internal/dataset"
@@ -16,6 +19,7 @@ import (
 	"pasnet/internal/hwmodel"
 	"pasnet/internal/models"
 	"pasnet/internal/nas"
+	"pasnet/internal/obs"
 )
 
 func main() {
@@ -97,7 +101,13 @@ func main() {
 		log.Fatal(err)
 	}
 	lb := gateway.NewLoopback(reg)
-	rt, err := gateway.NewRouter(reg, gateway.RouterOptions{Batch: 1, Dial: lb.Dial})
+	// An obs registry on the router instruments every shard lane: wire
+	// bytes/frames/rounds per conn, flush-phase spans, scheduler
+	// counters, and an every-flush sampled per-op timing feed.
+	oreg := obs.New()
+	rt, err := gateway.NewRouter(reg, gateway.RouterOptions{
+		Batch: 1, Dial: lb.Dial, Obs: oreg, OpSampleEvery: 1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,15 +116,42 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	plain := res.Derived.Net.Forward(x, false)
+	fmt.Printf("step 4  served logits %v\n", short(logits))
+	fmt.Printf("        plaintext     %v\n", short(plain.Data))
+
+	// Step 5: scrape the serving router. The same registry backs the
+	// pasnet-server -metrics-addr endpoint (/metrics, /status.json); here
+	// we render the exposition text in-process and pick out the round and
+	// byte accounting the paper's cost model talks about.
+	var prom strings.Builder
+	if err := oreg.WriteProm(&prom); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(prom.String(), "\n") {
+		if strings.HasPrefix(line, "pasnet_wire_rounds_total") ||
+			strings.HasPrefix(line, "pasnet_sched_flushes_total") {
+			fmt.Printf("step 5  scrape: %s\n", line)
+		}
+	}
+
+	// Step 6: recalibrate from the live feed. The router's sampled op
+	// timings harvest into a LUT that round-trips the same PASLUT1
+	// artifact and feeds nas.Options.LUT — the next search is priced by
+	// what serving actually measured, no dedicated probe run needed.
+	harvested, err := rt.HarvestLUT(hwmodel.DefaultConfig(), "harvested/serving")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 6  harvested %d live-measured operators from the serving router (source %s)\n",
+		len(harvested.Entries), harvested.Source)
+
 	if err := rt.Close(); err != nil {
 		log.Fatal(err)
 	}
 	if err := lb.Wait(); err != nil {
 		log.Fatal(err)
 	}
-	plain := res.Derived.Net.Forward(x, false)
-	fmt.Printf("step 4  served logits %v\n", short(logits))
-	fmt.Printf("        plaintext     %v\n", short(plain.Data))
 	fmt.Printf("\npredicted online latency: %.2f ms/query (calibrated LUT + measured overhead)\n",
 		autodeploy.PredictOnlineMS(lut, cal.OverheadSec, res.Derived.Ops))
 }

@@ -2,12 +2,15 @@ package gateway
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"pasnet/internal/fixed"
+	"pasnet/internal/hwmodel"
 	"pasnet/internal/mpc"
+	"pasnet/internal/obs"
 	"pasnet/internal/pi"
 	"pasnet/internal/rng"
 	"pasnet/internal/sched"
@@ -69,6 +72,19 @@ type RouterOptions struct {
 	// queries — so a fleet survives store exhaustion with zero shed load
 	// instead of burning a pair death and a revival on it.
 	Reprovision *ReprovisionOptions
+	// Obs, when non-nil, instruments the whole serving stack onto one
+	// metrics registry: every shard link is wrapped in an obs.WireConn
+	// (per-kind wire bytes/frames both directions plus protocol rounds),
+	// every session publishes flush-phase latency histograms and streams
+	// sampled per-op timings into the registry's OpFeed (see HarvestLUT),
+	// the dispatcher's admission/queue/EWMA bookkeeping lands on the same
+	// registry, and lifecycle transitions are recorded in its event ring.
+	// Nil disables export; the scheduler's bookkeeping still works.
+	Obs *obs.Registry
+	// OpSampleEvery is the per-op timing feed's sampling period in
+	// flushes (every OpSampleEvery-th flush pays the tracing clock
+	// reads). Values below 1 default to 16. Ignored without Obs.
+	OpSampleEvery int
 	// Dial opens the party-1 side of one shard's 2PC link. Nil dials
 	// desc.Endpoint over TCP; in-process deployments pass a Loopback's
 	// Dial, tests substitute pipes.
@@ -141,6 +157,7 @@ func NewRouter(reg *Registry, opts RouterOptions) (*Router, error) {
 			QueueCap:    opts.QueueCap,
 			QueueTarget: opts.QueueTarget,
 			ModelQuotas: opts.ModelQuotas,
+			Obs:         opts.Obs,
 		}),
 	}
 	// Connect concurrently into pre-sized slots, then register lanes in
@@ -220,6 +237,15 @@ func (rt *Router) connectShard(spec *ModelSpec, desc ShardDesc, gen int, handoff
 	if err != nil {
 		return nil, fmt.Errorf("gateway: dial model %q shard %d: %w", desc.Model, desc.Shard, err)
 	}
+	// Wire accounting wraps the link before anything is sent on it, so
+	// the counters see every frame of the shard's protocol — hello and
+	// weight sharing included. Handoff/revival generations of one lane
+	// share the lane's series: the lane's traffic is one time series
+	// regardless of which generation carried it.
+	if rt.opts.Obs != nil {
+		conn = obs.InstrumentConn(conn, rt.opts.Obs,
+			"model", desc.Model, "shard", strconv.Itoa(desc.Shard))
+	}
 	// Hello handshake: name the (model, shard) — and, for revivals and
 	// handoffs, the generation — this link serves, then wait for the
 	// vendor's acceptance before the expensive weight sharing. A non-empty
@@ -269,6 +295,14 @@ func (rt *Router) connectShard(spec *ModelSpec, desc ShardDesc, gen int, handoff
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("gateway: model %q shard %d session: %w", desc.Model, desc.Shard, err)
+	}
+	if rt.opts.Obs != nil {
+		every := rt.opts.OpSampleEvery
+		if every < 1 {
+			every = 16
+		}
+		sess.Instrument(rt.opts.Obs, every,
+			"model", desc.Model, "shard", strconv.Itoa(desc.Shard))
 	}
 	// Bound every in-flush receive: a vendor stalled mid-protocol fails
 	// this pair with a deadline error instead of wedging its lane worker.
@@ -345,6 +379,11 @@ func (rt *Router) reprovisionLoop(opts ReprovisionOptions) {
 			if swapped[key] > st.Gen {
 				continue // next generation already built and queued
 			}
+			// One budget-low event per triggering generation: the swapped
+			// guard above already dedups the build, so reaching this point
+			// is exactly the once-per-drain decision worth recording.
+			rt.opts.Obs.Event("budget-low", st.Model, st.Shard,
+				"budget %d below floor %d; building next generation", st.Budget, floor)
 			gen, err := rt.disp.NextGen(st.Model, st.Shard)
 			if err != nil {
 				continue
@@ -420,6 +459,20 @@ func (rt *Router) SubmitAsync(model string, x *tensor.Tensor) func() ([]float64,
 // grouped by model in registration order.
 func (rt *Router) Status() []ShardStatus {
 	return rt.disp.Status()
+}
+
+// HarvestLUT folds the router's sampled per-op latency feed into a
+// hwmodel.LUT under the given hardware config — live recalibration from
+// a serving fleet, without autodeploy's owned probe transport. The
+// router must have been built with Obs; the feed must have accumulated
+// samples (serve some queries first). The returned LUT passes the same
+// validation a calibrated artifact does and plugs straight into
+// nas.Options.LUT or hwmodel.WriteFile.
+func (rt *Router) HarvestLUT(hw hwmodel.Config, source string) (*hwmodel.LUT, error) {
+	if rt.opts.Obs == nil {
+		return nil, fmt.Errorf("gateway: router has no obs registry to harvest from")
+	}
+	return rt.opts.Obs.OpFeed().HarvestLUT(hw, source)
 }
 
 // Close shuts the router down gracefully: the background re-provisioner

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one structured lifecycle transition. These are rare by
+// construction (a shed storm is the pathological ceiling), so the ring
+// takes a mutex rather than contorting into a lock-free design.
+type Event struct {
+	// UnixNS is the event wall time in nanoseconds since the epoch.
+	UnixNS int64 `json:"unix_ns"`
+	// Type is the event class: "shed", "failover", "deadline",
+	// "revival", "quarantine", "reprovision-swap", "budget-low".
+	Type string `json:"type"`
+	// Model and Shard locate the lane the event happened on. Shard is
+	// -1 for fleet-level events.
+	Model string `json:"model,omitempty"`
+	Shard int    `json:"shard"`
+	// Msg is a human-readable detail line.
+	Msg string `json:"msg,omitempty"`
+}
+
+// DefaultEventCap is the ring capacity: enough tail to reconstruct an
+// incident, small enough that a snapshot stays cheap.
+const DefaultEventCap = 256
+
+// EventRing is a bounded ring of recent events. When full, the oldest
+// event is overwritten; Total keeps counting so export can report how
+// many were dropped.
+type EventRing struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int // index of the slot the next event lands in
+	total uint64
+}
+
+// Record appends an event, overwriting the oldest once full.
+func (r *EventRing) Record(e Event) {
+	r.mu.Lock()
+	if r.buf == nil {
+		r.buf = make([]Event, DefaultEventCap)
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded.
+func (r *EventRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Tail returns the retained events, oldest first.
+func (r *EventRing) Tail() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.total == 0 {
+		return nil
+	}
+	n := len(r.buf)
+	if r.total < uint64(n) {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, n)
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Events returns the registry's event ring. Nil on a nil registry.
+func (r *Registry) Events() *EventRing {
+	if r == nil {
+		return nil
+	}
+	return &r.events
+}
+
+// Event records a structured event and bumps the per-type
+// pasnet_events_total counter. Safe on a nil registry (no-op). Shard
+// is -1 for fleet-level events.
+func (r *Registry) Event(typ, model string, shard int, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	r.events.Record(Event{
+		UnixNS: time.Now().UnixNano(),
+		Type:   typ,
+		Model:  model,
+		Shard:  shard,
+		Msg:    msg,
+	})
+	r.Counter("pasnet_events_total", "type", typ).Inc()
+}

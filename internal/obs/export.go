@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MetricPoint is one scalar series in a JSON snapshot.
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistPoint is one histogram series in a JSON snapshot.
+type HistPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Hist   HistSnapshot      `json:"hist"`
+}
+
+// Snapshot is a point-in-time JSON-exportable copy of the whole
+// registry: every scalar, every histogram, and the event-ring tail.
+// It is the single source for both the /metrics endpoint's JSON twin
+// and pasnet-server's -status-json file, so the two can never
+// disagree about what the fleet did.
+type Snapshot struct {
+	UnixNS      int64         `json:"unix_ns"`
+	Counters    []MetricPoint `json:"counters"`
+	Gauges      []MetricPoint `json:"gauges"`
+	Histograms  []HistPoint   `json:"histograms"`
+	Events      []Event       `json:"events,omitempty"`
+	EventsTotal uint64        `json:"events_total"`
+}
+
+// labelMap converts alternating pairs to a map for JSON export.
+func labelMap(labels []string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		m[labels[i]] = labels[i+1]
+	}
+	return m
+}
+
+// Snapshot copies the registry's current state. Safe on a nil registry
+// (returns an empty snapshot).
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{UnixNS: time.Now().UnixNano()}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.order...)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			s.Counters = append(s.Counters, MetricPoint{m.name, labelMap(m.labels), float64(m.c.Load())})
+		case kindGauge:
+			s.Gauges = append(s.Gauges, MetricPoint{m.name, labelMap(m.labels), float64(m.g.Load())})
+		case kindFGauge:
+			s.Gauges = append(s.Gauges, MetricPoint{m.name, labelMap(m.labels), m.f.Load()})
+		case kindHistogram:
+			s.Histograms = append(s.Histograms, HistPoint{m.name, labelMap(m.labels), m.h.Snapshot()})
+		}
+	}
+	s.Events = r.events.Tail()
+	s.EventsTotal = r.events.Total()
+	return s
+}
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label block (plus optional extra pair), or ""
+// when there are no labels at all.
+func promLabels(labels []string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	// Quote by hand: escapeLabel already produced the exposition-format
+	// escapes, and %q would escape the escapes.
+	for i := 0; i+1 < len(labels); i += 2 {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(extraV)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format, families grouped under one TYPE line each, series in
+// registration order. Safe on a nil registry (writes nothing).
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.order...)
+	r.mu.Unlock()
+	// Group by family name, preserving first-registration order.
+	sort.SliceStable(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+	lastFamily := ""
+	for _, m := range metrics {
+		if m.name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+				return err
+			}
+			lastFamily = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, promLabels(m.labels, "", ""), m.c.Load()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, promLabels(m.labels, "", ""), m.g.Load()); err != nil {
+				return err
+			}
+		case kindFGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, promLabels(m.labels, "", ""), promFloat(m.f.Load())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			h := m.h.Snapshot()
+			cum := int64(0)
+			for i, n := range h.Counts {
+				cum += n
+				le := "+Inf"
+				if i < len(h.Bounds) {
+					le = promFloat(h.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, promLabels(m.labels, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, promLabels(m.labels, "", ""), promFloat(h.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, promLabels(m.labels, "", ""), h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PromHandler serves the registry in the Prometheus text format.
+func (r *Registry) PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}

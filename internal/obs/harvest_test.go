@@ -1,0 +1,143 @@
+package obs_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"pasnet/internal/dataset"
+	"pasnet/internal/hwmodel"
+	"pasnet/internal/models"
+	"pasnet/internal/nas"
+	"pasnet/internal/obs"
+)
+
+// TestHarvestLUTMath pins the fold from feed aggregates to LUT entries:
+// mean per-row seconds as TotalSec, the comp/comm split pro-rata from
+// the analytic model, traffic copied from it, and per-kind scales.
+func TestHarvestLUTMath(t *testing.T) {
+	hw := hwmodel.DefaultConfig()
+	feed := &obs.OpFeed{}
+	shape := hwmodel.OpShape{FI: 8, IC: 16, OC: 16, K: 3, Stride: 1, FO: 8}
+	// Two samples at different row counts: per-row mean = (0.010/1 + 0.030/2)/2.
+	feed.Record(hwmodel.OpConv, shape, 1, 0.010)
+	feed.Record(hwmodel.OpConv, shape, 2, 0.030)
+	if feed.Keys() != 1 || feed.Samples() != 2 {
+		t.Fatalf("feed keys %d samples %d, want 1 and 2", feed.Keys(), feed.Samples())
+	}
+	lut, err := feed.HarvestLUT(hw, "harvested/test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lut.Source != "harvested/test" {
+		t.Fatalf("source %q", lut.Source)
+	}
+	key := hwmodel.NetOp{Kind: hwmodel.OpConv, Shape: shape}.Key()
+	c, ok := lut.Entries[key]
+	if !ok {
+		t.Fatalf("harvested LUT missing key %q (has %d entries)", key, len(lut.Entries))
+	}
+	wantMean := (0.010 + 0.015) / 2
+	if math.Abs(c.TotalSec-wantMean) > 1e-12 {
+		t.Fatalf("TotalSec %v, want %v", c.TotalSec, wantMean)
+	}
+	ana := hw.Op(hwmodel.OpConv, shape)
+	if math.Abs(c.CompSec+c.CommSec-c.TotalSec) > 1e-12 {
+		t.Fatalf("comp %v + comm %v != total %v", c.CompSec, c.CommSec, c.TotalSec)
+	}
+	if ana.TotalSec > 0 {
+		wantComp := wantMean * ana.CompSec / ana.TotalSec
+		if math.Abs(c.CompSec-wantComp) > 1e-12 {
+			t.Fatalf("CompSec %v, want pro-rata %v", c.CompSec, wantComp)
+		}
+	}
+	if c.CommBits != ana.CommBits || c.Rounds != ana.Rounds {
+		t.Fatalf("traffic (%v bits, %v rounds) not copied from analytic (%v, %v)",
+			c.CommBits, c.Rounds, ana.CommBits, ana.Rounds)
+	}
+	if s := lut.Scales[hwmodel.OpConv.String()]; ana.TotalSec > 0 && math.Abs(s-wantMean/ana.TotalSec) > 1e-12 {
+		t.Fatalf("conv scale %v, want %v", s, wantMean/ana.TotalSec)
+	}
+	// Degenerate inputs are rejected or ignored, never harvested.
+	feed.Record(hwmodel.OpConv, shape, 0, 0.5)
+	feed.Record(hwmodel.OpConv, shape, 1, -0.5)
+	if feed.Samples() != 2 {
+		t.Fatalf("degenerate records were accepted: %d samples", feed.Samples())
+	}
+	empty := &obs.OpFeed{}
+	if _, err := empty.HarvestLUT(hw, ""); err == nil {
+		t.Fatal("harvest of an empty feed succeeded")
+	}
+}
+
+// TestHarvestLUTRoundTripIntoSearch is the acceptance path end to end: a
+// populated feed harvests into a LUT, the LUT survives the PASLUT1
+// artifact round-trip, and a short NAS run consumes the read-back table
+// and stamps its source — live measurements steering the next search.
+func TestHarvestLUTRoundTripIntoSearch(t *testing.T) {
+	hw := hwmodel.DefaultConfig()
+	cfg := models.CIFARConfig(0.0625, 7)
+	cfg.InputHW = 8
+	cfg.NumClasses = 4
+
+	// Materialize the supernet's op keys, then pretend a serving router
+	// sampled every one of them.
+	sn, err := nas.BuildSupernet("resnet18", cfg, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := &obs.OpFeed{}
+	keys := 0
+	for _, m := range sn.Mixed {
+		for _, kind := range m.Kinds {
+			feed.Record(kind, m.Slot.Shape, 4, 0.004)
+			keys++
+		}
+	}
+	for _, op := range sn.Model.Ops {
+		feed.Record(op.Kind, op.Shape, 4, 0.004)
+		keys++
+	}
+	if keys == 0 {
+		t.Fatal("supernet exposed no ops to sample")
+	}
+	lut, err := feed.HarvestLUT(hw, "harvested/obs-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "harvested.paslut")
+	if err := lut.WriteFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := hwmodel.ReadLUTFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Source != "harvested/obs-test" {
+		t.Fatalf("read-back source %q", back.Source)
+	}
+	if len(back.Entries) != len(lut.Entries) {
+		t.Fatalf("read-back has %d entries, wrote %d", len(back.Entries), len(lut.Entries))
+	}
+
+	opts := nas.DefaultOptions("resnet18", 1.0)
+	opts.ModelCfg = cfg
+	opts.LUT = back
+	opts.Steps = 4
+	opts.BatchSize = 8
+	d := dataset.Synthetic(dataset.SynthConfig{
+		N: 32, Classes: 4, C: 3, HW: 8, LatentDim: 8, TeacherHidden: 16,
+		TeacherDepth: 2, Noise: 0.1, Seed: 9,
+	})
+	res, err := nas.Search(opts, d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencySource != "harvested/obs-test" {
+		t.Fatalf("search latency source %q, want the harvested LUT's label", res.LatencySource)
+	}
+	if math.IsNaN(res.LatencySec) || res.LatencySec < 0 {
+		t.Fatalf("search latency %v under harvested LUT", res.LatencySec)
+	}
+}

@@ -1,0 +1,351 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"pasnet/internal/hwmodel"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	// One value per bucket, including the boundary (le is inclusive) and
+	// the implicit +Inf overflow bucket.
+	h.Observe(0.0005) // bucket 0
+	h.Observe(0.001)  // bucket 0 (boundary is inclusive)
+	h.Observe(0.005)  // bucket 1
+	h.Observe(0.1)    // bucket 2
+	h.Observe(3)      // +Inf overflow
+	s := h.Snapshot()
+	wantCounts := []int64{2, 1, 1, 1}
+	if len(s.Counts) != len(wantCounts) {
+		t.Fatalf("snapshot has %d buckets, want %d", len(s.Counts), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if s.Counts[i] != want {
+			t.Fatalf("bucket %d count %d, want %d (snapshot %+v)", i, s.Counts[i], want, s)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count %d, want 5", s.Count)
+	}
+	wantSum := 0.0005 + 0.001 + 0.005 + 0.1 + 3
+	if diff := s.Sum - wantSum; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("sum %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramNonAscendingBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{0.1, 0.1})
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	a.Observe(5)
+	b.Observe(1.5)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sa.Counts; got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("merged counts %v, want [1 1 1]", got)
+	}
+	if sa.Count != 3 || sa.Sum != 7 {
+		t.Fatalf("merged count %d sum %v, want 3 and 7", sa.Count, sa.Sum)
+	}
+	// Mismatched layouts must refuse to merge rather than silently
+	// produce garbage quantiles.
+	c := NewHistogram([]float64{1, 3}).Snapshot()
+	if err := sa.Merge(c); err == nil {
+		t.Fatal("merge of mismatched bounds succeeded")
+	}
+	d := NewHistogram([]float64{1}).Snapshot()
+	if err := sa.Merge(d); err == nil {
+		t.Fatal("merge of different bucket counts succeeded")
+	}
+}
+
+func TestRegistryDedupAndLabelOrder(t *testing.T) {
+	r := New()
+	a := r.Counter("pasnet_test_total", "model", "m1", "shard", "0")
+	b := r.Counter("pasnet_test_total", "shard", "0", "model", "m1")
+	if a != b {
+		t.Fatal("differently ordered labels produced distinct series")
+	}
+	c := r.Counter("pasnet_test_total", "model", "m1", "shard", "1")
+	if a == c {
+		t.Fatal("different label values shared one series")
+	}
+	a.Add(2)
+	b.Inc()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("sibling series leaked counts: %d", got)
+	}
+	if got := a.Load(); got != 3 {
+		t.Fatalf("deduped counter reads %d, want 3", got)
+	}
+	h1 := r.Histogram("pasnet_test_seconds", nil, "phase", "x")
+	h2 := r.Histogram("pasnet_test_seconds", []float64{9}, "phase", "x")
+	if h1 != h2 {
+		t.Fatal("histogram lookup did not dedup")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("pasnet_conflict")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("pasnet_conflict")
+}
+
+// TestNilRegistry pins the nil-safety contract instrumented packages
+// rely on: every handle works, events are dropped silently.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(3)
+	r.FGauge("f").Set(0.5)
+	r.Histogram("h", nil).Observe(0.1)
+	r.FlushSpans("model", "m").Evaluate.Observe(0.2)
+	r.OpFeed().Reset()
+	r.Event("shed", "m", 0, "dropped")
+	if r.Events() != nil {
+		t.Fatal("nil registry returned an event ring")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry prom output %q err %v", sb.String(), err)
+	}
+}
+
+func TestEventRingBoundedOldestFirst(t *testing.T) {
+	var ring EventRing
+	if got := ring.Tail(); got != nil {
+		t.Fatalf("empty ring tail %v", got)
+	}
+	n := DefaultEventCap + 17
+	for i := 0; i < n; i++ {
+		ring.Record(Event{UnixNS: int64(i), Type: "shed"})
+	}
+	if got := ring.Total(); got != uint64(n) {
+		t.Fatalf("total %d, want %d", got, n)
+	}
+	tail := ring.Tail()
+	if len(tail) != DefaultEventCap {
+		t.Fatalf("tail retains %d events, want %d", len(tail), DefaultEventCap)
+	}
+	// Oldest retained first: events 17..n-1.
+	for i, e := range tail {
+		if want := int64(i + 17); e.UnixNS != want {
+			t.Fatalf("tail[%d].UnixNS = %d, want %d", i, e.UnixNS, want)
+		}
+	}
+}
+
+func TestRegistryEventBumpsCounter(t *testing.T) {
+	r := New()
+	r.Event("failover", "m1", 2, "pair died: %v", "eof")
+	r.Event("failover", "m1", 2, "pair died again")
+	r.Event("shed", "m1", 2, "overload")
+	if got := r.Counter("pasnet_events_total", "type", "failover").Load(); got != 2 {
+		t.Fatalf("failover counter %d, want 2", got)
+	}
+	tail := r.Events().Tail()
+	if len(tail) != 3 {
+		t.Fatalf("event tail %d entries, want 3", len(tail))
+	}
+	if tail[0].Msg != "pair died: eof" || tail[0].Model != "m1" || tail[0].Shard != 2 {
+		t.Fatalf("first event %+v", tail[0])
+	}
+	if tail[0].UnixNS == 0 {
+		t.Fatal("event not timestamped")
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := New()
+	r.Counter("pasnet_a_total", "kind", "u64").Add(7)
+	r.Gauge("pasnet_b").Set(-2)
+	r.FGauge("pasnet_c").Set(1.5)
+	h := r.Histogram("pasnet_d_seconds", []float64{0.1, 1}, "phase", "evaluate")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+	r.Counter("pasnet_e_total", "msg", "line1\nwith \"quotes\" and \\slash").Inc()
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE pasnet_a_total counter\n",
+		`pasnet_a_total{kind="u64"} 7` + "\n",
+		"# TYPE pasnet_b gauge\n",
+		"pasnet_b -2\n",
+		"pasnet_c 1.5\n",
+		"# TYPE pasnet_d_seconds histogram\n",
+		`pasnet_d_seconds_bucket{phase="evaluate",le="0.1"} 1` + "\n",
+		`pasnet_d_seconds_bucket{phase="evaluate",le="1"} 2` + "\n",
+		`pasnet_d_seconds_bucket{phase="evaluate",le="+Inf"} 3` + "\n",
+		`pasnet_d_seconds_sum{phase="evaluate"} 10.55` + "\n",
+		`pasnet_d_seconds_count{phase="evaluate"} 3` + "\n",
+		`msg="line1\nwith \"quotes\" and \\slash"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one TYPE line per family.
+	if got := strings.Count(out, "# TYPE pasnet_a_total"); got != 1 {
+		t.Fatalf("family pasnet_a_total has %d TYPE lines", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("pasnet_a_total", "kind", "u64").Add(3)
+	r.Gauge("pasnet_b").Set(5)
+	r.Histogram("pasnet_d_seconds", nil).Observe(0.01)
+	r.Event("revival", "m", 1, "revived")
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Counters) != 2 || back.Counters[0].Value != 3 {
+		t.Fatalf("counters %+v", back.Counters)
+	}
+	if len(back.Gauges) != 1 || back.Gauges[0].Value != 5 {
+		t.Fatalf("gauges %+v", back.Gauges)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Hist.Count != 1 {
+		t.Fatalf("histograms %+v", back.Histograms)
+	}
+	if back.EventsTotal != 1 || len(back.Events) != 1 || back.Events[0].Type != "revival" {
+		t.Fatalf("events %+v total %d", back.Events, back.EventsTotal)
+	}
+}
+
+// TestHotPathZeroAlloc pins the allocation-free update contract: a
+// serving flush may hammer these on every op without GC pressure.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := New()
+	c := r.Counter("pasnet_alloc_total")
+	g := r.Gauge("pasnet_alloc_gauge")
+	f := r.FGauge("pasnet_alloc_fgauge")
+	h := r.Histogram("pasnet_alloc_seconds", nil)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter", func() { c.Add(1) }},
+		{"gauge", func() { g.Add(-1) }},
+		{"fgauge", func() { f.Set(0.25) }},
+		{"histogram", func() { h.Observe(0.003) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Fatalf("%s update allocates %.1f objects/op", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := New().Counter("pasnet_bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("pasnet_bench_seconds", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+// TestConcurrentUpdatesAndExport hammers every update path while
+// snapshotting and rendering concurrently — the race-detector target for
+// the whole registry, mirroring a live gateway being scraped mid-flush.
+func TestConcurrentUpdatesAndExport(t *testing.T) {
+	r := New()
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Half the writers share series with their neighbor, so the
+			// dedup path races against updates too.
+			shard := fmt.Sprintf("%d", w/2)
+			c := r.Counter("pasnet_race_total", "shard", shard)
+			h := r.Histogram("pasnet_race_seconds", nil, "shard", shard)
+			g := r.Gauge("pasnet_race_gauge", "shard", shard)
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) * 1e-4)
+				r.Event("shed", "m", w, "iteration %d", i)
+				r.OpFeed().Record(hwmodel.OpReLU, hwmodel.OpShape{FI: 8, IC: 4}, 1, 1e-5)
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for rd := 0; rd < 2; rd++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.Snapshot()
+				var sb strings.Builder
+				_ = r.WriteProm(&sb)
+				_ = r.Events().Tail()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	total := int64(0)
+	for _, p := range r.Snapshot().Counters {
+		if p.Name == "pasnet_race_total" {
+			total += int64(p.Value)
+		}
+	}
+	if total != writers*perWriter {
+		t.Fatalf("race counter total %d, want %d", total, writers*perWriter)
+	}
+	if got := r.Events().Total(); got != writers*perWriter {
+		t.Fatalf("event total %d, want %d", got, writers*perWriter)
+	}
+}

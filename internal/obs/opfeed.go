@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+
+	"pasnet/internal/hwmodel"
+)
+
+// OpFeed accumulates sampled per-operator online timings from serving
+// sessions. It is the always-on, low-overhead sibling of the pi
+// engine's RecordOps tracer: sessions record only every Nth flush, and
+// the feed keeps running per-key aggregates instead of per-occurrence
+// slices, so a router can serve indefinitely and still harvest a
+// calibration-grade latency table at any moment.
+type OpFeed struct {
+	mu   sync.Mutex
+	aggs map[string]*opAgg
+}
+
+// opAgg is one operator key's running aggregate.
+type opAgg struct {
+	op     hwmodel.NetOp
+	rowSec float64 // sum over samples of (seconds / rows)
+	n      int64
+}
+
+// Record folds one sampled op timing into the feed.
+func (f *OpFeed) Record(kind hwmodel.OpKind, shape hwmodel.OpShape, rows int, seconds float64) {
+	if f == nil || rows < 1 || seconds < 0 {
+		return
+	}
+	op := hwmodel.NetOp{Kind: kind, Shape: shape}
+	key := op.Key()
+	f.mu.Lock()
+	a := f.aggs[key]
+	if a == nil {
+		if f.aggs == nil {
+			f.aggs = map[string]*opAgg{}
+		}
+		a = &opAgg{op: op}
+		f.aggs[key] = a
+	}
+	a.rowSec += seconds / float64(rows)
+	a.n++
+	f.mu.Unlock()
+}
+
+// Keys returns the number of distinct operator keys observed.
+func (f *OpFeed) Keys() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.aggs)
+}
+
+// Samples returns the total number of op timings recorded.
+func (f *OpFeed) Samples() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := int64(0)
+	for _, a := range f.aggs {
+		n += a.n
+	}
+	return n
+}
+
+// Reset discards all aggregates, e.g. after a harvest that should not
+// bleed into the next calibration window.
+func (f *OpFeed) Reset() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.aggs = nil
+	f.mu.Unlock()
+}
+
+// HarvestLUT folds the feed into a hwmodel.LUT the same way
+// autodeploy.Calibrate fits its probe readings: each key's measured
+// TotalSec is its mean per-row seconds, the comp/comm split is taken
+// pro-rata from the analytic model (measurement sees only wall time),
+// traffic and round counts are copied from it, and per-kind
+// measured/analytic scale ratios let unprobed geometries fall back to
+// a rescaled analytic estimate. The result round-trips through the
+// PASLUT1 artifact (hwmodel.WriteFile/ReadLUTFile) and feeds
+// nas.Options.LUT, closing the serve→recalibrate→search loop without
+// an owned probe transport.
+func (f *OpFeed) HarvestLUT(hw hwmodel.Config, source string) (*hwmodel.LUT, error) {
+	if err := hw.Validate(); err != nil {
+		return nil, fmt.Errorf("obs: harvest analytic fallback: %w", err)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("obs: harvest of nil op feed")
+	}
+	f.mu.Lock()
+	type reading struct {
+		op   hwmodel.NetOp
+		mean float64
+	}
+	readings := make(map[string]reading, len(f.aggs))
+	for key, a := range f.aggs {
+		readings[key] = reading{op: a.op, mean: a.rowSec / float64(a.n)}
+	}
+	f.mu.Unlock()
+	if len(readings) == 0 {
+		return nil, fmt.Errorf("obs: op feed has no samples to harvest")
+	}
+
+	lut := hwmodel.NewLUT(hw)
+	if source == "" {
+		source = "harvested/obs"
+	}
+	lut.Source = source
+	kindMeas := map[string]float64{}
+	kindAna := map[string]float64{}
+	for key, rd := range readings {
+		ana := hw.Op(rd.op.Kind, rd.op.Shape)
+		c := hwmodel.Cost{TotalSec: rd.mean, CommBits: ana.CommBits, Rounds: ana.Rounds}
+		if ana.TotalSec > 0 {
+			c.CompSec = rd.mean * ana.CompSec / ana.TotalSec
+			// Guard the rounding-induced tiny negative remainder the
+			// artifact validator rightly rejects.
+			if c.CommSec = rd.mean - c.CompSec; c.CommSec < 0 {
+				c.CommSec = 0
+			}
+		} else {
+			c.CompSec = rd.mean
+		}
+		lut.Entries[key] = c
+		kind := rd.op.Kind.String()
+		kindMeas[kind] += rd.mean
+		kindAna[kind] += ana.TotalSec
+	}
+	scales := map[string]float64{}
+	for kind, meas := range kindMeas {
+		if ana := kindAna[kind]; ana > 0 && meas > 0 {
+			scales[kind] = meas / ana
+		}
+	}
+	if len(scales) > 0 {
+		lut.Scales = scales
+	}
+	return lut, nil
+}

@@ -9,6 +9,7 @@ import (
 	"pasnet/internal/corr"
 	"pasnet/internal/models"
 	"pasnet/internal/mpc"
+	"pasnet/internal/obs"
 	"pasnet/internal/tensor"
 	"pasnet/internal/transport"
 )
@@ -249,6 +250,21 @@ type Session struct {
 	// flushDeadline, when positive, bounds each flush's transport receives
 	// (see SetFlushDeadline). Set before traffic flows.
 	flushDeadline time.Duration
+	// spans, when set by Instrument, receives per-phase flush timings
+	// (see flight.go). Nil keeps the flush path free of clock reads.
+	spans *obs.FlushSpans
+}
+
+// Instrument wires the session into an observability registry: the five
+// Flight phases (ingest/evaluate/reveal_send/reveal_recv/decode) report
+// per-phase latency histograms under the given label pairs, and the
+// engine streams sampled per-op timings into the registry's OpFeed on
+// every opSampleEvery-th flush (values < 1 sample every flush). Call
+// before traffic flows; the phase timers only run once spans exist, so
+// an un-instrumented session pays nothing.
+func (s *Session) Instrument(reg *obs.Registry, opSampleEvery int, labels ...string) {
+	s.spans = reg.FlushSpans(labels...)
+	s.eng.SetOpFeed(reg.OpFeed(), opSampleEvery)
 }
 
 // SetFlushDeadline bounds every flush's transport receives to d: party 1

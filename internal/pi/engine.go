@@ -6,6 +6,7 @@ import (
 
 	"pasnet/internal/hwmodel"
 	"pasnet/internal/mpc"
+	"pasnet/internal/obs"
 )
 
 // Engine executes a compiled program on one party's endpoint. Weight
@@ -32,6 +33,15 @@ type Engine struct {
 	// measurements feed latency-LUT calibration (internal/autodeploy).
 	recordOps bool
 	timings   []OpTiming
+	// feed is the always-on sampled sibling of recordOps: every
+	// feedEvery-th flush streams its per-op timings into the shared
+	// obs.OpFeed aggregate instead of a per-occurrence slice, so a
+	// serving session pays the tracing clock reads only on sampled
+	// flushes and allocates nothing either way.
+	feed      *obs.OpFeed
+	feedEvery int
+	feedFlush int64
+	feedNow   bool
 }
 
 // NewEngine wraps a program.
@@ -55,6 +65,20 @@ func (e *Engine) TakeOpTimings() []OpTiming {
 	t := e.timings
 	e.timings = nil
 	return t
+}
+
+// SetOpFeed installs a sampled per-op timing feed: every every-th Infer
+// call traces its operators into feed's running aggregates. Like
+// SetRecordOps it is local to this engine — the peer needs no matching
+// toggle and the protocol stream is unchanged. every < 1 defaults to 1
+// (sample every flush); a nil feed disables sampling.
+func (e *Engine) SetOpFeed(feed *obs.OpFeed, every int) {
+	if every < 1 {
+		every = 1
+	}
+	e.feed = feed
+	e.feedEvery = every
+	e.feedFlush = 0
 }
 
 // Setup secret-shares the model parameters from party 0 (the model
@@ -135,6 +159,8 @@ func (e *Engine) Infer(x mpc.Share) (mpc.Share, error) {
 	if e.party == nil {
 		return mpc.Share{}, fmt.Errorf("pi: engine not set up")
 	}
+	e.feedNow = e.feed != nil && e.feedFlush%int64(e.feedEvery) == 0
+	e.feedFlush++
 	widx := 0
 	return e.run(e.Prog, x, &widx)
 }
@@ -146,7 +172,7 @@ func (e *Engine) run(prog *Program, x mpc.Share, widx *int) (mpc.Share, error) {
 		op := &prog.Ops[i]
 		// Residuals time only their Add below (the branch ops trace
 		// themselves through the recursion); flatten is a free reshape.
-		trace := e.recordOps && op.kind != opResidual && op.kind != opFlatten
+		trace := (e.recordOps || e.feedNow) && op.kind != opResidual && op.kind != opFlatten
 		var inShape []int
 		var opStart time.Time
 		if trace {
@@ -243,27 +269,40 @@ func (e *Engine) run(prog *Program, x mpc.Share, widx *int) (mpc.Share, error) {
 			}
 			addStart := time.Now()
 			x = p.Add(body, short)
-			if e.recordOps {
-				e.timings = append(e.timings, OpTiming{
-					Name:    op.name,
-					Kind:    hwmodel.OpAdd,
-					Shape:   hwmodel.OpShape{FI: x.Shape[2], IC: x.Shape[1]},
-					Rows:    x.Shape[0],
-					Seconds: time.Since(addStart).Seconds(),
-				})
+			if e.recordOps || e.feedNow {
+				addSec := time.Since(addStart).Seconds()
+				addShape := hwmodel.OpShape{FI: x.Shape[2], IC: x.Shape[1]}
+				if e.recordOps {
+					e.timings = append(e.timings, OpTiming{
+						Name:    op.name,
+						Kind:    hwmodel.OpAdd,
+						Shape:   addShape,
+						Rows:    x.Shape[0],
+						Seconds: addSec,
+					})
+				}
+				if e.feedNow {
+					e.feed.Record(hwmodel.OpAdd, addShape, x.Shape[0], addSec)
+				}
 			}
 		default:
 			return mpc.Share{}, fmt.Errorf("pi: unknown op kind %d", op.kind)
 		}
 		if trace {
 			kind, shape := traceOp(op, inShape)
-			e.timings = append(e.timings, OpTiming{
-				Name:    op.name,
-				Kind:    kind,
-				Shape:   shape,
-				Rows:    inShape[0],
-				Seconds: time.Since(opStart).Seconds(),
-			})
+			opSec := time.Since(opStart).Seconds()
+			if e.recordOps {
+				e.timings = append(e.timings, OpTiming{
+					Name:    op.name,
+					Kind:    kind,
+					Shape:   shape,
+					Rows:    inShape[0],
+					Seconds: opSec,
+				})
+			}
+			if e.feedNow {
+				e.feed.Record(kind, shape, inShape[0], opSec)
+			}
 		}
 	}
 	return x, nil

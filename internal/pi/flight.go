@@ -2,6 +2,7 @@ package pi
 
 import (
 	"fmt"
+	"time"
 
 	"pasnet/internal/mpc"
 	"pasnet/internal/tensor"
@@ -39,6 +40,10 @@ type Flight struct {
 	xs   mpc.Share
 	out  mpc.Share
 	vals []uint64
+	// ingestSec accumulates the announce half's duration so the ingest
+	// span covers announce+confirm work without counting the pipelined
+	// scheduler's turn-baton wait that sits between the two halves.
+	ingestSec float64
 }
 
 // BeginQuery runs the ingest phase of one flush from party 1's side —
@@ -70,6 +75,10 @@ func (s *Session) QueryAnnounce(x *tensor.Tensor) (*Flight, error) {
 	if s.party.ID != 1 {
 		return nil, fmt.Errorf("pi: QueryAnnounce is party 1's side; party 0 serves")
 	}
+	var t0 time.Time
+	if s.spans != nil {
+		t0 = time.Now()
+	}
 	// Each announce re-arms the flush deadline; party 1 performs no
 	// receive outside a flush, so the deadline never fires while idle. In
 	// a pipelined schedule the previous flush's deferred reveal receive
@@ -86,7 +95,11 @@ func (s *Session) QueryAnnounce(x *tensor.Tensor) (*Flight, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Flight{s: s, shape: x.Shape, src: src, xs: xs}, nil
+	f := &Flight{s: s, shape: x.Shape, src: src, xs: xs}
+	if s.spans != nil {
+		f.ingestSec = time.Since(t0).Seconds()
+	}
+	return f, nil
 }
 
 // Confirm runs the receive half of the ingest phase: take the peer's
@@ -95,6 +108,10 @@ func (s *Session) QueryAnnounce(x *tensor.Tensor) (*Flight, error) {
 // pipelined scheduler must order it after the previous flush's
 // RecvPeerShare.
 func (f *Flight) Confirm() error {
+	var t0 time.Time
+	if f.s.spans != nil {
+		t0 = time.Now()
+	}
 	theirs, err := f.s.party.Conn.RecvShape()
 	if err != nil {
 		return fmt.Errorf("pi: shape negotiation: %w", err)
@@ -102,17 +119,30 @@ func (f *Flight) Confirm() error {
 	if err := CheckShape(f.shape, theirs); err != nil {
 		return err
 	}
-	return f.s.confirmSource(f.src, f.shape)
+	if err := f.s.confirmSource(f.src, f.shape); err != nil {
+		return err
+	}
+	if f.s.spans != nil {
+		f.s.spans.Ingest.Observe(f.ingestSec + time.Since(t0).Seconds())
+	}
+	return nil
 }
 
 // Evaluate runs the evaluate phase: the compiled program's interactive
 // protocol rounds over the input share.
 func (f *Flight) Evaluate() error {
+	var t0 time.Time
+	if f.s.spans != nil {
+		t0 = time.Now()
+	}
 	out, err := f.s.eng.Infer(f.xs)
 	if err != nil {
 		return err
 	}
 	f.out = out
+	if f.s.spans != nil {
+		f.s.spans.Evaluate.Observe(time.Since(t0).Seconds())
+	}
 	return nil
 }
 
@@ -121,17 +151,32 @@ func (f *Flight) Evaluate() error {
 // next flush's ingest, provided this flight's RecvPeerShare stays first
 // in the connection's receive order.
 func (f *Flight) SendResult() error {
-	return f.s.party.RevealSend(f.out)
+	if f.s.spans == nil {
+		return f.s.party.RevealSend(f.out)
+	}
+	t0 := time.Now()
+	err := f.s.party.RevealSend(f.out)
+	if err == nil {
+		f.s.spans.RevealSend.Observe(time.Since(t0).Seconds())
+	}
+	return err
 }
 
 // RecvPeerShare receives the peer's reveal half and reconstructs the ring
 // output — the flush's final receive on the connection.
 func (f *Flight) RecvPeerShare() error {
+	var t0 time.Time
+	if f.s.spans != nil {
+		t0 = time.Now()
+	}
 	vals, err := f.s.party.RevealRecv(f.out)
 	if err != nil {
 		return err
 	}
 	f.vals = vals
+	if f.s.spans != nil {
+		f.s.spans.RevealRecv.Observe(time.Since(t0).Seconds())
+	}
 	return nil
 }
 
@@ -139,5 +184,11 @@ func (f *Flight) RecvPeerShare() error {
 // connection use), so a pipelined scheduler runs it concurrently with the
 // next flush.
 func (f *Flight) Result() []float64 {
-	return f.s.party.DecodeTensor(f.vals)
+	if f.s.spans == nil {
+		return f.s.party.DecodeTensor(f.vals)
+	}
+	t0 := time.Now()
+	out := f.s.party.DecodeTensor(f.vals)
+	f.s.spans.Decode.Observe(time.Since(t0).Seconds())
+	return out
 }

@@ -1,0 +1,110 @@
+package pi
+
+import (
+	"sync"
+	"testing"
+
+	"pasnet/internal/fixed"
+	"pasnet/internal/hwmodel"
+	"pasnet/internal/mpc"
+	"pasnet/internal/obs"
+	"pasnet/internal/rng"
+	"pasnet/internal/tensor"
+	"pasnet/internal/transport"
+)
+
+// TestSessionInstrumentSpansAndFeed drives an instrumented session pair
+// and checks the observability contract: every flush lands exactly one
+// observation in each lifecycle-phase histogram, and the per-op feed
+// samples at the configured cadence.
+func TestSessionInstrumentSpansAndFeed(t *testing.T) {
+	m, inC, hw := tinyModel(31)
+	c0, c1 := transport.Pipe()
+	defer c0.Close()
+	defer c1.Close()
+	codec := fixed.Default64()
+	p0 := mpc.NewParty(0, c0, 7, 71, codec)
+	p1 := mpc.NewParty(1, c1, 7, 72, codec)
+
+	var serveErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess, err := NewSession(p0, m, []int{0, inC, hw, hw})
+		if err != nil {
+			serveErr = err
+			return
+		}
+		serveErr = sess.Serve()
+	}()
+
+	sess, err := NewSession(p1, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	// Sample the op feed every second flush.
+	sess.Instrument(reg, 2, "model", "tiny", "shard", "0")
+
+	const flushes = 4
+	r := rng.New(11)
+	var samplesAfterHalf int64
+	for f := 0; f < flushes; f++ {
+		x := tensor.New(1, inC, hw, hw).RandNorm(r, 0.5)
+		if _, err := sess.Query(x); err != nil {
+			t.Fatalf("flush %d: %v", f, err)
+		}
+		if f == flushes/2-1 {
+			samplesAfterHalf = reg.OpFeed().Samples()
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatalf("serve loop: %v", serveErr)
+	}
+
+	spans := reg.FlushSpans("model", "tiny", "shard", "0")
+	phases := map[string]*obs.Histogram{
+		"ingest":      spans.Ingest,
+		"evaluate":    spans.Evaluate,
+		"reveal_send": spans.RevealSend,
+		"reveal_recv": spans.RevealRecv,
+		"decode":      spans.Decode,
+	}
+	for phase, h := range phases {
+		if got := h.Count(); got != flushes {
+			t.Fatalf("phase %s observed %d flushes, want %d", phase, got, flushes)
+		}
+		if s := h.Snapshot(); s.Sum < 0 {
+			t.Fatalf("phase %s accumulated negative time %v", phase, s.Sum)
+		}
+	}
+
+	feed := reg.OpFeed()
+	if feed.Keys() == 0 {
+		t.Fatal("op feed saw no operator keys")
+	}
+	// Every-2nd-flush cadence: flushes 0 and 2 of the 4 are sampled, and
+	// each sampled flush traces the same program, so the sample total
+	// exactly doubles between the halfway point and the end.
+	if samplesAfterHalf == 0 {
+		t.Fatal("first sampled flush recorded nothing")
+	}
+	if got := feed.Samples(); got != 2*samplesAfterHalf {
+		t.Fatalf("feed holds %d samples after 4 flushes, want 2×%d (every-2nd cadence)",
+			got, samplesAfterHalf)
+	}
+
+	// A serving session's feed must fold into a usable latency table.
+	lut, err := feed.HarvestLUT(hwmodel.DefaultConfig(), "harvested/pi-test")
+	if err != nil {
+		t.Fatalf("harvest from instrumented session: %v", err)
+	}
+	if len(lut.Entries) != feed.Keys() {
+		t.Fatalf("harvested %d LUT entries from %d feed keys", len(lut.Entries), feed.Keys())
+	}
+}

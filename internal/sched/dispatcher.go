@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pasnet/internal/obs"
 	"pasnet/internal/pi"
 	"pasnet/internal/tensor"
 )
@@ -68,6 +70,12 @@ type Options struct {
 	// through reply); submissions over the cap are shed with ErrShed.
 	// Missing or non-positive entries leave the model unlimited.
 	ModelQuotas map[string]int
+	// Obs, when set, exports every lane's scheduling counters, queue-depth
+	// gauges and pooled-EWMA gauges through the registry and records
+	// lifecycle events (shed, failover, deadline, revival, quarantine,
+	// reprovision-swap) on its event ring. Nil keeps the same bookkeeping
+	// on unregistered metric objects — Status works either way.
+	Obs *obs.Registry
 }
 
 // item is one routed query: the tensor, its row weight for scoring, and
@@ -124,15 +132,20 @@ type worker struct {
 	shard int
 	queue chan *item
 
-	queuedQueries atomic.Int64 // queries waiting in queue
-	queuedRows    atomic.Int64 // their row sum
-	inflightRows  atomic.Int64 // rows inside flushes not yet completed
-	inflightFlush atomic.Int64 // flushes begun and not yet completed
-	queries       atomic.Int64 // queries routed here (failover retries count)
-	flushes       atomic.Int64
-	admitted      atomic.Int64 // queries admission control let through to this lane
-	shed          atomic.Int64 // queries admission control rejected off this lane
-	deadlined     atomic.Int64 // pair deaths caused by an expired flush deadline
+	// The scheduling counters live on obs metric objects (atomic inside,
+	// identical update API) so one registry serves both the picker's
+	// reads and the /metrics export. With Options.Obs nil they are
+	// unregistered but fully functional.
+	queuedQueries *obs.Gauge   // queries waiting in queue
+	queuedRows    *obs.Gauge   // their row sum
+	inflightRows  *obs.Gauge   // rows inside flushes not yet completed
+	inflightFlush *obs.Gauge   // flushes begun and not yet completed
+	queries       *obs.Counter // queries routed here (failover retries count)
+	flushes       *obs.Counter
+	admitted      *obs.Counter // queries admission control let through to this lane
+	shed          *obs.Counter // queries admission control rejected off this lane
+	deadlined     *obs.Counter // pair deaths caused by an expired flush deadline
+	speedG        *obs.FGauge  // export mirror of the lane's speed ratio
 
 	mu          sync.Mutex
 	speed       float64 // EWMA of actual/predicted flush duration (1: nominal)
@@ -301,6 +314,10 @@ type group struct {
 
 	lmu sync.Mutex
 	lat latModel
+	// ewmaFlushG/ewmaRowG export the pooled latency model's F and C
+	// estimates in milliseconds, updated on every completed flush.
+	ewmaFlushG *obs.FGauge
+	ewmaRowG   *obs.FGauge
 }
 
 // NewDispatcher builds an empty dispatcher; add lanes with AddShard
@@ -326,7 +343,10 @@ func (d *Dispatcher) AddShard(model string, shard int, sess FlushSession) error 
 	}
 	g, ok := d.groups[model]
 	if !ok {
-		g = &group{}
+		g = &group{
+			ewmaFlushG: d.opts.Obs.FGauge("pasnet_sched_ewma_flush_ms", "model", model),
+			ewmaRowG:   d.opts.Obs.FGauge("pasnet_sched_ewma_row_ms", "model", model),
+		}
 		d.groups[model] = g
 		d.order = append(d.order, model)
 	}
@@ -335,6 +355,8 @@ func (d *Dispatcher) AddShard(model string, shard int, sess FlushSession) error 
 			return fmt.Errorf("sched: model %q shard %d already has a dispatch lane", model, shard)
 		}
 	}
+	reg := d.opts.Obs
+	lbl := []string{"model", model, "shard", strconv.Itoa(shard)}
 	w := &worker{
 		d:     d,
 		g:     g,
@@ -344,7 +366,19 @@ func (d *Dispatcher) AddShard(model string, shard int, sess FlushSession) error 
 		sess:  sess,
 		speed: 1,
 		done:  make(chan struct{}),
+
+		queuedQueries: reg.Gauge("pasnet_sched_queued_queries", lbl...),
+		queuedRows:    reg.Gauge("pasnet_sched_queued_rows", lbl...),
+		inflightRows:  reg.Gauge("pasnet_sched_inflight_rows", lbl...),
+		inflightFlush: reg.Gauge("pasnet_sched_inflight_flushes", lbl...),
+		queries:       reg.Counter("pasnet_sched_queries_total", lbl...),
+		flushes:       reg.Counter("pasnet_sched_flushes_total", lbl...),
+		admitted:      reg.Counter("pasnet_sched_admitted_total", lbl...),
+		shed:          reg.Counter("pasnet_sched_shed_total", lbl...),
+		deadlined:     reg.Counter("pasnet_sched_deadline_deaths_total", lbl...),
+		speedG:        reg.FGauge("pasnet_sched_speed", lbl...),
 	}
+	w.speedG.Set(1)
 	g.workers = append(g.workers, w)
 	go w.run()
 	return nil
@@ -457,6 +491,7 @@ func (d *Dispatcher) SubmitAsync(model string, x *tensor.Tensor) func() ([]float
 		if held := w.g.held.Add(1); held > int64(quota) {
 			w.g.held.Add(-1)
 			w.shed.Add(1)
+			d.opts.Obs.Event("shed", model, w.shard, "in-flight quota %d reached", quota)
 			return failedWait(fmt.Errorf("sched: model %q already has %d in-flight queries at its quota of %d: %w", model, held-1, quota, ErrShed))
 		}
 		it.g = w.g
@@ -464,6 +499,8 @@ func (d *Dispatcher) SubmitAsync(model string, x *tensor.Tensor) func() ([]float
 	if target := d.opts.QueueTarget; target > 0 && calibrated && est > float64(target.Nanoseconds()) {
 		it.release()
 		w.shed.Add(1)
+		d.opts.Obs.Event("shed", model, w.shard, "estimated completion %.1fms exceeds %.1fms queue-time target",
+			est/1e6, float64(target.Nanoseconds())/1e6)
 		return failedWait(fmt.Errorf("sched: model %q query shed: estimated completion %.1fms on shard %d exceeds the %.1fms queue-time target: %w",
 			model, est/1e6, w.shard, float64(target.Nanoseconds())/1e6, ErrShed))
 	}
@@ -894,6 +931,8 @@ func (w *worker) observe(dur time.Duration, rows int64) {
 	w.g.lat.observe(durNS, float64(rows))
 	f, c, _ := w.g.lat.params()
 	w.g.lmu.Unlock()
+	w.g.ewmaFlushG.Set(f / 1e6)
+	w.g.ewmaRowG.Set(c / 1e6)
 	if pred := f + c*float64(rows); pred > 0 {
 		ratio := durNS / pred
 		// A damped, clamped ratio: one hiccup cannot blacklist a lane,
@@ -912,7 +951,9 @@ func (w *worker) observe(dur time.Duration, rows int64) {
 			w.speed += latAlpha * (ratio - w.speed)
 		}
 		w.speedN++
+		speed := w.speed
 		w.mu.Unlock()
+		w.speedG.Set(speed)
 	}
 }
 
@@ -934,6 +975,9 @@ func (w *worker) fail(err error, from FlushSession) {
 	w.down = err
 	if errors.Is(err, os.ErrDeadlineExceeded) {
 		w.deadlined.Add(1)
+		w.d.opts.Obs.Event("deadline", w.model, w.shard, "flush deadline expired: %v", err)
+	} else {
+		w.d.opts.Obs.Event("failover", w.model, w.shard, "pair died: %v", err)
 	}
 	sess := w.sess
 	lc := w.d.lc
@@ -973,6 +1017,7 @@ func (w *worker) handleSwap(req *swapReq) {
 	w.gen = req.gen
 	w.swaps++
 	w.mu.Unlock()
+	w.d.opts.Obs.Event("reprovision-swap", w.model, w.shard, "generation %d installed between flushes", req.gen)
 	if old != nil {
 		_ = old.Close()
 	}
@@ -996,6 +1041,7 @@ func (w *worker) resurrect(sess FlushSession, gen int) {
 	w.revived++
 	w.revivedAt = time.Now()
 	w.mu.Unlock()
+	w.d.opts.Obs.Event("revival", w.model, w.shard, "revived as generation %d", gen)
 }
 
 // strike counts a failed revival attempt; enough strikes quarantine the
@@ -1015,6 +1061,7 @@ func (w *worker) strikeLocked(err error, max int) bool {
 	if w.strikes >= max {
 		w.quarantined = true
 		w.down = fmt.Errorf("sched: model %q shard %d quarantined after %d strikes: %w", w.model, w.shard, w.strikes, err)
+		w.d.opts.Obs.Event("quarantine", w.model, w.shard, "%d strikes: %v", w.strikes, err)
 	}
 	return w.quarantined
 }

@@ -83,19 +83,28 @@ type Conn interface {
 	Close() error
 }
 
-// Stats records the traffic sent from one endpoint.
+// Stats records the traffic through one endpoint, both directions.
+// Byte counts are payload bytes (framing headers excluded), so the two
+// endpoints of a healthy link report mirror-image totals: one side's
+// BytesSent is the other's BytesRecv.
 type Stats struct {
 	// BytesSent is the total payload bytes transmitted.
 	BytesSent int64
 	// MessagesSent is the number of framed messages transmitted.
 	MessagesSent int64
+	// BytesRecv is the total payload bytes received.
+	BytesRecv int64
+	// MessagesRecv is the number of framed messages received.
+	MessagesRecv int64
 }
 
 // counter accumulates stats with atomic updates so a transport can be
 // inspected while protocol goroutines run.
 type counter struct {
-	bytes int64
-	msgs  int64
+	bytes     int64
+	msgs      int64
+	recvBytes int64
+	recvMsgs  int64
 }
 
 func (c *counter) add(n int) {
@@ -103,8 +112,18 @@ func (c *counter) add(n int) {
 	atomic.AddInt64(&c.msgs, 1)
 }
 
+func (c *counter) addRecv(n int) {
+	atomic.AddInt64(&c.recvBytes, int64(n))
+	atomic.AddInt64(&c.recvMsgs, 1)
+}
+
 func (c *counter) stats() Stats {
-	return Stats{BytesSent: atomic.LoadInt64(&c.bytes), MessagesSent: atomic.LoadInt64(&c.msgs)}
+	return Stats{
+		BytesSent:    atomic.LoadInt64(&c.bytes),
+		MessagesSent: atomic.LoadInt64(&c.msgs),
+		BytesRecv:    atomic.LoadInt64(&c.recvBytes),
+		MessagesRecv: atomic.LoadInt64(&c.recvMsgs),
+	}
 }
 
 // message is the unit carried by the in-memory pipe.
@@ -264,11 +283,34 @@ func (m *MemConn) recvEOF() (message, error) {
 	}
 }
 
-// recvMsg takes the next frame off the pipe, honoring the read deadline
-// with net.Conn semantics: an expired deadline fails immediately (even if
-// a frame is already buffered), an armed one bounds the wait. All MemConn
+// msgPayloadBytes is a delivered frame's payload size under the same
+// conventions the send side counts (4 bytes per uint32, 8 per uint64,
+// raw length otherwise), so Stats stays symmetric across a link.
+func msgPayloadBytes(msg message) int {
+	switch msg.kind {
+	case 'u':
+		return 4 * len(msg.u32)
+	case 'U':
+		return 8 * len(msg.u64)
+	default:
+		return len(msg.raw)
+	}
+}
+
+// recvMsg takes the next frame off the pipe and counts it. All MemConn
 // receive paths go through it.
 func (m *MemConn) recvMsg() (message, error) {
+	msg, err := m.recvMsgWait()
+	if err == nil {
+		m.c.addRecv(msgPayloadBytes(msg))
+	}
+	return msg, err
+}
+
+// recvMsgWait blocks for the next frame, honoring the read deadline
+// with net.Conn semantics: an expired deadline fails immediately (even if
+// a frame is already buffered), an armed one bounds the wait.
+func (m *MemConn) recvMsgWait() (message, error) {
 	m.dmu.Lock()
 	dl := m.deadline
 	m.dmu.Unlock()
@@ -585,7 +627,9 @@ func (t *TCPConn) readHeader() (byte, uint32, error) {
 }
 
 // readPayload validates a declared payload length against limit — before
-// allocating — then reads the payload.
+// allocating — then reads the payload. It is the single funnel every
+// TCP receive path completes through, so the receive-side traffic
+// counter advances here.
 func (t *TCPConn) readPayload(kind byte, n, limit uint32) ([]byte, error) {
 	if n > limit {
 		return nil, fmt.Errorf("transport: frame kind %q payload %d exceeds limit %d", kind, n, limit)
@@ -594,6 +638,7 @@ func (t *TCPConn) readPayload(kind byte, n, limit uint32) ([]byte, error) {
 	if _, err := io.ReadFull(t.nc, payload); err != nil {
 		return nil, err
 	}
+	t.c.addRecv(len(payload))
 	return payload, nil
 }
 

@@ -148,8 +148,53 @@ func TestMemPipeStats(t *testing.T) {
 	if s.BytesSent != 40+24+5 || s.MessagesSent != 3 {
 		t.Fatalf("stats %+v", s)
 	}
-	if bs := b.Stats(); bs.BytesSent != 0 {
-		t.Fatalf("receiver should have sent nothing: %+v", bs)
+	// Nothing received yet on either side: frames sit in the pipe until
+	// the peer actually takes delivery.
+	if bs := b.Stats(); bs.BytesSent != 0 || bs.BytesRecv != 0 || bs.MessagesRecv != 0 {
+		t.Fatalf("receiver stats before delivery: %+v", bs)
+	}
+	for _, recv := range []func() error{
+		func() error { _, err := b.RecvUints(); return err },
+		func() error { _, err := b.RecvUint64s(); return err },
+		func() error { _, err := b.RecvBytes(); return err },
+	} {
+		if err := recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Receive-side stats mirror the sender: same payload conventions,
+	// counted at delivery.
+	bs := b.Stats()
+	if bs.BytesRecv != 40+24+5 || bs.MessagesRecv != 3 {
+		t.Fatalf("receiver stats after delivery: %+v", bs)
+	}
+	if bs.BytesSent != 0 || bs.MessagesSent != 0 {
+		t.Fatalf("receiver sent nothing: %+v", bs)
+	}
+	if as := a.Stats(); as.BytesRecv != 0 || as.MessagesRecv != 0 {
+		t.Fatalf("sender received nothing: %+v", as)
+	}
+}
+
+// TestMemPipeRecvStatsAfterPeerClose covers the drain-then-EOF path:
+// frames buffered before the peer closed still count as received when
+// they are delivered.
+func TestMemPipeRecvStatsAfterPeerClose(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	_ = a.SendUints(make([]uint32, 4))
+	a.Close()
+	if _, err := b.RecvUints(); err != nil {
+		t.Fatal(err)
+	}
+	if bs := b.Stats(); bs.BytesRecv != 16 || bs.MessagesRecv != 1 {
+		t.Fatalf("drained frame not counted: %+v", bs)
+	}
+	if _, err := b.RecvUints(); err == nil {
+		t.Fatal("expected EOF after drain")
+	}
+	if bs := b.Stats(); bs.MessagesRecv != 1 {
+		t.Fatalf("EOF must not count as a received frame: %+v", bs)
 	}
 }
 
@@ -279,6 +324,15 @@ func TestTCPTransport(t *testing.T) {
 	wg.Wait()
 	if s := clientT.Stats(); s.BytesSent == 0 || s.MessagesSent < 3 {
 		t.Fatalf("client stats %+v", s)
+	}
+	// Both directions count, and a link's two endpoints mirror each
+	// other: payload-byte conventions are identical on send and receive.
+	cs, ss := clientT.Stats(), server.Stats()
+	if cs.BytesRecv != ss.BytesSent || cs.MessagesRecv != ss.MessagesSent {
+		t.Fatalf("client recv %+v does not mirror server sent %+v", cs, ss)
+	}
+	if ss.BytesRecv != cs.BytesSent || ss.MessagesRecv != cs.MessagesSent {
+		t.Fatalf("server recv %+v does not mirror client sent %+v", ss, cs)
 	}
 }
 
